@@ -1,0 +1,70 @@
+"""Shared fixtures and caches for the benchmark suite.
+
+Benchmarks regenerate the paper's tables: each bench measures the relevant
+computation with pytest-benchmark and prints the corresponding table to
+stdout (run with ``-s`` or see the captured output) so a bench run doubles
+as the reproduction artifact.
+
+Heavy artifacts (the design suite, merge runs, STA runs) are cached at
+module scope so Table 5 and Table 6 benches share one flow per design.
+``REPRO_BENCH_SCALE`` (default 1.0) scales the synthetic designs; use
+e.g. ``REPRO_BENCH_SCALE=0.5`` for a quick pass.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.conformity import ConformityReport, compare_conformity
+from repro.baselines.no_merge import MultiModeStaResult, run_sta_all_modes
+from repro.core.mergeability import MergingRun, merge_all
+from repro.workloads.designs import paper_suite
+from repro.workloads.generator import Workload, generate
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+_workloads: Dict[str, Workload] = {}
+_runs: Dict[str, MergingRun] = {}
+_sta: Dict[Tuple[str, str], MultiModeStaResult] = {}
+
+
+def get_workload(name: str) -> Workload:
+    if name not in _workloads:
+        design = paper_suite(BENCH_SCALE)[name]
+        _workloads[name] = generate(design.spec)
+    return _workloads[name]
+
+
+def get_merge_run(name: str) -> MergingRun:
+    if name not in _runs:
+        workload = get_workload(name)
+        _runs[name] = merge_all(workload.netlist, workload.modes)
+    return _runs[name]
+
+
+def get_sta(name: str, which: str) -> MultiModeStaResult:
+    key = (name, which)
+    if key not in _sta:
+        workload = get_workload(name)
+        if which == "individual":
+            modes = workload.modes
+        else:
+            modes = get_merge_run(name).merged_modes()
+        # Best of two runs: wall-clock noise on the smaller designs can
+        # otherwise dominate the borderline comparisons (design F).
+        runs = [run_sta_all_modes(workload.netlist, modes)
+                for _ in range(2)]
+        _sta[key] = min(runs, key=lambda r: r.total_runtime_seconds)
+    return _sta[key]
+
+
+def get_conformity(name: str) -> ConformityReport:
+    return compare_conformity(get_sta(name, "individual"),
+                              get_sta(name, "merged"))
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run a heavyweight benchmark exactly once (no warmup repeats)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,61 @@
+"""Bench: Constraint Set 2 — clock union + clock-constraint merging
+(Sections 3.1.1-3.1.2).
+
+Measures the preliminary clock steps and asserts the paper's outcome:
+clkC of mode B deduplicates into clkB of mode A, the name conflict is
+resolved with a ``_1`` suffix, and the min latency merges to the minimum.
+"""
+
+import pytest
+
+from repro.core import merge_clock_constraints, merge_clocks
+from repro.core.steps import MergeContext
+from repro.netlist import NetlistBuilder
+from repro.sdc import SetClockLatency, parse_mode, write_mode
+
+MODE_A = """
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkB -period 20 [get_ports clk2]
+set_clock_latency -min 0.2 [get_clocks clkB]
+"""
+
+MODE_B = """
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkC -period 20 [get_ports clk2]
+create_clock -name clkB -period 40 [get_ports clk3]
+set_clock_latency -min 0.19 [get_clocks clkC]
+"""
+
+
+def _netlist():
+    b = NetlistBuilder("cs2")
+    b.inputs("clk1", "clk2", "clk3", "in1")
+    r1 = b.dff("r1", d="in1", clk="clk1")
+    r2 = b.dff("r2", d=r1.q, clk="clk2")
+    r3 = b.dff("r3", d=r2.q, clk="clk3")
+    b.output("out1", r3.q)
+    return b.build()
+
+
+def test_cs2_clock_union(benchmark):
+    netlist = _netlist()
+    mode_a = parse_mode(MODE_A, "A")
+    mode_b = parse_mode(MODE_B, "B")
+
+    def run():
+        context = MergeContext(netlist, [mode_a, mode_b])
+        merge_clocks(context)
+        merge_clock_constraints(context)
+        return context
+
+    context = benchmark(run)
+    print()
+    print("Constraint Set 2 merged mode A+B:")
+    print(write_mode(context.merged, header=False))
+
+    assert [c.name for c in context.merged.clocks()] \
+        == ["clkA", "clkB", "clkB_1"]
+    assert context.clock_maps["B"] \
+        == {"clkA": "clkA", "clkC": "clkB", "clkB": "clkB_1"}
+    latency = context.merged.of_type(SetClockLatency)[0]
+    assert latency.value == pytest.approx(0.19)

@@ -1,0 +1,42 @@
+"""Bench: Constraint Set 3 — clock refinement (Section 3.1.8).
+
+Measures the full merge of the conflicting-case mode pair on the Figure-1
+circuit and asserts the paper's merged mode: inferred set_disable_timing
+on sel1/sel2 and the clkA stop at mux1/Z.
+"""
+
+from repro.core import merge_modes
+from repro.netlist import figure1_circuit
+from repro.sdc import parse_mode, write_mode
+
+MODE_A = """
+create_clock -period 10 -name clkA [get_port clk1]
+create_clock -period 20 -name clkB [get_port clk2]
+set_case_analysis 0 sel1
+set_case_analysis 1 sel2
+"""
+
+MODE_B = """
+create_clock -period 10 -name clkA [get_port clk1]
+create_clock -period 20 -name clkB [get_port clk2]
+set_case_analysis 1 sel1
+set_case_analysis 0 sel2
+"""
+
+
+def test_cs3_clock_refinement(benchmark):
+    netlist = figure1_circuit()
+    mode_a = parse_mode(MODE_A, "A")
+    mode_b = parse_mode(MODE_B, "B")
+
+    result = benchmark(lambda: merge_modes(netlist, [mode_a, mode_b]))
+    print()
+    print("Constraint Set 3 merged mode A+B:")
+    print(write_mode(result.merged, header=False))
+
+    text = write_mode(result.merged, header=False)
+    assert "set_disable_timing [get_ports sel1]" in text
+    assert "set_disable_timing [get_ports sel2]" in text
+    assert ("set_clock_sense -stop_propagation -clocks [get_clocks clkA] "
+            "[get_pins mux1/Z]") in text
+    assert result.ok

@@ -1,0 +1,49 @@
+"""Bench: Constraint Set 4 — exception uniquification (Section 3.1.10).
+
+Measures the merge of a clock-muxed mode pair where a multicycle exists
+only in mode A, asserting the paper's rewritten form:
+``set_multicycle_path 2 -from [get_clocks clkA] -through [rA/CP]``.
+"""
+
+from repro.core import merge_modes
+from repro.netlist import NetlistBuilder
+from repro.sdc import parse_mode, write_constraint, write_mode
+
+MODE_A = """
+create_clock -name clkA -period 10 [get_port clk1]
+set_case_analysis 0 [mux1/S]
+set_multicycle_path 2 -from [rA/CP]
+"""
+
+MODE_B = """
+create_clock -name clkB -period 10 [get_port clk2]
+set_case_analysis 1 [mux1/S]
+"""
+
+
+def _netlist():
+    b = NetlistBuilder("cs4")
+    b.inputs("clk1", "clk2", "sel", "in1")
+    mux1 = b.mux2("mux1", "clk1", "clk2", "sel")
+    rA = b.dff("rA", d="in1", clk=mux1.out)
+    rX = b.dff("rX", d=rA.q, clk=mux1.out)
+    b.output("out1", rX.q)
+    return b.build()
+
+
+def test_cs4_uniquification(benchmark):
+    netlist = _netlist()
+    mode_a = parse_mode(MODE_A, "A")
+    mode_b = parse_mode(MODE_B, "B")
+
+    result = benchmark(lambda: merge_modes(netlist, [mode_a, mode_b]))
+    print()
+    print("Constraint Set 4 merged mode A'+B:")
+    print(write_mode(result.merged, header=False))
+
+    mcps = result.merged.multicycle_paths()
+    assert len(mcps) == 1
+    text = write_constraint(mcps[0])
+    assert "-from [get_clocks clkA]" in text
+    assert "rA/CP" in text
+    assert result.ok

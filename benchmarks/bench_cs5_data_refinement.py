@@ -1,0 +1,44 @@
+"""Bench: Constraint Set 5 — data refinement (Section 3.2, first step).
+
+Measures the merge of two one-clock modes sharing a clock port (one of
+which case-holds rB/Q) and asserts the paper's merged mode: accumulated
+I/O delays, physically exclusive clocks, and the ClkB stop at rB/Q
+expressed as ``set_false_path -from [get_clocks ClkB] -through``.
+"""
+
+from repro.core import merge_modes
+from repro.netlist import figure1_circuit
+from repro.sdc import parse_mode, write_mode
+
+MODE_A = """
+create_clock -name ClkA -period 2 [get_port clk1]
+set_input_delay 2.0 -clock ClkA [get_port in1]
+set_output_delay 2.0 -clock ClkA [get_port out1]
+"""
+
+MODE_B = """
+create_clock -name ClkB -period 1 [get_port clk1]
+set_input_delay 2.0 -clock ClkB [get_port in1]
+set_output_delay 2.0 -clock ClkB [get_ports out1]
+set_case_analysis 0 rB/Q
+"""
+
+
+def test_cs5_data_refinement(benchmark):
+    netlist = figure1_circuit()
+    mode_a = parse_mode(MODE_A, "A")
+    mode_b = parse_mode(MODE_B, "B")
+
+    result = benchmark(lambda: merge_modes(netlist, [mode_a, mode_b]))
+    print()
+    print("Constraint Set 5 merged mode A+B:")
+    print(write_mode(result.merged, header=False))
+
+    text = write_mode(result.merged, header=False)
+    assert "create_clock -name ClkA -period 2 -add" in text
+    assert "create_clock -name ClkB -period 1 -add" in text
+    assert "-add_delay" in text
+    assert "physically_exclusive" in text
+    assert ("set_false_path -from [get_clocks ClkB] "
+            "-through [get_pins rB/Q]") in text
+    assert result.ok

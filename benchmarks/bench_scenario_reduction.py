@@ -1,0 +1,55 @@
+"""Bench: the scenario arithmetic of the paper's introduction.
+
+Not a numbered table, but the quantity the paper opens with: scenarios =
+#modes x #corners.  Measures the full multi-corner STA matrix before and
+after merging on the Figure-2 workload and reports the reduction.
+"""
+
+import pytest
+
+from repro.core import merge_all
+from repro.timing import TYPICAL_CORNERS, run_scenarios, scenario_reduction
+from repro.workloads import figure2_modes, generate
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(figure2_modes())
+
+
+@pytest.fixture(scope="module")
+def merged_run(workload):
+    return merge_all(workload.netlist, workload.modes)
+
+
+def test_scenarios_before_merging(benchmark, workload):
+    matrix = benchmark.pedantic(
+        lambda: run_scenarios(workload.netlist, workload.modes),
+        rounds=1, iterations=1, warmup_rounds=0)
+    print(f"\nbefore: {matrix.scenario_count} scenarios, "
+          f"{matrix.total_runtime_seconds:.2f}s")
+    assert matrix.scenario_count \
+        == len(workload.modes) * len(TYPICAL_CORNERS)
+
+
+def test_scenarios_after_merging(benchmark, workload, merged_run):
+    merged_modes = merged_run.merged_modes()
+    matrix = benchmark.pedantic(
+        lambda: run_scenarios(workload.netlist, merged_modes),
+        rounds=1, iterations=1, warmup_rounds=0)
+    n_before, n_after, pct = scenario_reduction(
+        merged_run.individual_count, merged_run.merged_count,
+        len(TYPICAL_CORNERS))
+    print(f"\nafter: {matrix.scenario_count} scenarios "
+          f"({n_before} -> {n_after}, {pct:.1f}% reduction)")
+    assert matrix.scenario_count == n_after
+    assert pct > 50.0
+
+    # The sign-off answer is preserved across the matrix.
+    before = run_scenarios(workload.netlist, workload.modes)
+    worst_before = before.worst_endpoint_slacks()
+    worst_after = matrix.worst_endpoint_slacks()
+    for endpoint, slack in worst_before.items():
+        assert endpoint in worst_after
+        period_tolerance = 0.01 * 40  # slowest clock period in the suite
+        assert abs(worst_after[endpoint] - slack) <= period_tolerance

@@ -1,0 +1,42 @@
+"""Bench: Table 1 — timing relationships of Constraint Set 1 (Section 2).
+
+Measures relationship extraction on the Figure-1 circuit and prints the
+table in the paper's layout.  Asserts the published states (MCP(2) at
+rX/D, FP at rY/D from the FP-over-MCP precedence, unconstrained rZ/D).
+"""
+
+from repro.netlist import figure1_circuit
+from repro.sdc import parse_mode
+from repro.timing import (
+    BoundMode,
+    FALSE,
+    RelState,
+    RelationshipExtractor,
+    VALID,
+    format_relationship_table,
+    named_endpoint_rows,
+)
+
+CS1 = """
+create_clock -name clkA -period 10 [get_ports clk1]
+set_multicycle_path 2 -through [get_pins inv1/Z]
+set_false_path -through [and1/Z]
+"""
+
+
+def test_table1_relationship_extraction(benchmark):
+    netlist = figure1_circuit()
+    mode = parse_mode(CS1, "cs1")
+
+    def extract():
+        bound = BoundMode(netlist, mode)
+        return bound, RelationshipExtractor(bound).endpoint_relationships()
+
+    bound, rows = benchmark(extract)
+    named = named_endpoint_rows(bound, rows)
+    print()
+    print(format_relationship_table(named, "Table 1: Timing relationships"))
+
+    assert named[("rX/D", "clkA", "clkA")] == frozenset([RelState(mcp_setup=2)])
+    assert named[("rY/D", "clkA", "clkA")] == frozenset([FALSE])
+    assert named[("rZ/D", "clkA", "clkA")] == frozenset([VALID])

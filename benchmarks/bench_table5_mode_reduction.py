@@ -1,0 +1,71 @@
+"""Bench: Table 5 — mode reduction and merging runtime on designs A-F.
+
+Runs the full flow (mergeability analysis + per-group merges with built-in
+validation) on each synthetic design of the suite and prints Table 5 with
+the paper's reduction percentages alongside.  The per-design reduction
+percentages match the paper exactly because the suite reproduces the
+paper's mode-group structure; absolute runtimes are not comparable
+(pure-Python on ~1/300-scale designs vs multithreaded C++ on multi-million
+-gate designs) and are reported for shape only.
+"""
+
+import pytest
+
+from bench_common import BENCH_SCALE, get_merge_run, get_workload, once
+from repro.workloads.designs import paper_suite
+
+SUITE = paper_suite(BENCH_SCALE)
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_table5_design(benchmark, name):
+    design = SUITE[name]
+    workload = get_workload(name)
+
+    run = once(benchmark, get_merge_run, name)
+
+    reduction = run.reduction_percent
+    print()
+    print(f"Table 5 row — design {name}: {workload.cell_count} cells, "
+          f"{run.individual_count} -> {run.merged_count} modes "
+          f"({reduction:.1f}% reduction; paper: "
+          f"{design.paper_reduction_pct:.1f}%), "
+          f"merge runtime {run.runtime_seconds:.2f}s")
+
+    assert run.individual_count == design.paper_modes
+    assert run.merged_count == design.paper_merged
+    assert reduction == pytest.approx(design.paper_reduction_pct, abs=0.2)
+    for outcome in run.outcomes:
+        assert outcome.result is not None
+        assert outcome.result.ok, (outcome.mode_names,
+                                   outcome.result.outcome.residuals[:3])
+
+
+def test_table5_summary(benchmark):
+    def collect():
+        return [(name, get_merge_run(name)) for name in sorted(SUITE)]
+
+    benchmark.pedantic(collect, rounds=1, iterations=1, warmup_rounds=0)
+    rows = []
+    total_red = 0.0
+    for name, design in sorted(SUITE.items()):
+        run = get_merge_run(name)
+        workload = get_workload(name)
+        rows.append((name, workload.cell_count, run.individual_count,
+                     run.merged_count, run.reduction_percent,
+                     run.runtime_seconds, design.paper_reduction_pct))
+        total_red += run.reduction_percent
+    print()
+    print("Table 5: Mode reduction and merging runtime "
+          "[Units: Size -> cells, Time -> seconds]")
+    header = (f"{'Design':<7}{'Cells':>7}{'#Indiv':>8}{'#Merged':>9}"
+              f"{'%Red':>7}{'Merge(s)':>10}{'Paper %Red':>12}")
+    print(header)
+    for row in rows:
+        print(f"{row[0]:<7}{row[1]:>7}{row[2]:>8}{row[3]:>9}"
+              f"{row[4]:>7.1f}{row[5]:>10.2f}{row[6]:>12.1f}")
+    average = total_red / len(rows)
+    print(f"{'Average':<7}{'':>7}{'':>8}{'':>9}{average:>7.1f}"
+          f"{'':>10}{67.5:>12.1f}")
+    # The paper's average is 67.5%; ours matches by construction.
+    assert average == pytest.approx(67.5, abs=0.5)

@@ -1,0 +1,63 @@
+"""Bench: Tables 2-4 — the 3-pass comparison on Constraint Set 6
+(Section 3.2, second step).
+
+Measures the full merge (the 3-pass dominates) and prints the three
+comparison tables in the paper's layout, asserting every published
+verdict and the three generated fix constraints CSTR1-CSTR3.
+"""
+
+from repro.core import format_pass_table, merge_modes
+from repro.netlist import figure1_circuit
+from repro.sdc import parse_mode, write_constraint
+
+MODE_A = """
+create_clock -p 10 -name clkA [get_port clk1]
+set_false_path -to rX/D
+set_false_path -to rY/D
+set_false_path -through inv3/Z
+"""
+
+MODE_B = """
+create_clock -p 10 -name clkA [get_port clk1]
+set_false_path -from rA/CP
+set_false_path -to rZ/D
+"""
+
+
+def test_tables_2_3_4_three_pass(benchmark):
+    netlist = figure1_circuit()
+    mode_a = parse_mode(MODE_A, "A")
+    mode_b = parse_mode(MODE_B, "B")
+
+    result = benchmark(lambda: merge_modes(netlist, [mode_a, mode_b]))
+
+    print()
+    print(format_pass_table(result.outcome.pass1_entries, 1))
+    print()
+    print(format_pass_table(result.outcome.pass2_entries, 2))
+    print()
+    print(format_pass_table(result.outcome.pass3_entries, 3))
+    print()
+    print("Generated merged-mode constraints (paper CSTR1-CSTR3):")
+    for constraint in result.outcome.added:
+        print(" ", write_constraint(constraint))
+
+    # Table 2 verdicts.
+    pass1 = {e.endpoint: e.result for e in result.outcome.pass1_entries}
+    assert pass1 == {"rX/D": "X", "rY/D": "A", "rZ/D": "A"}
+    # Table 3 verdicts.
+    pass2 = {(e.startpoint, e.endpoint): e.result
+             for e in result.outcome.pass2_entries}
+    assert pass2 == {("rA/CP", "rY/D"): "X", ("rB/CP", "rY/D"): "M",
+                     ("rC/CP", "rZ/D"): "A"}
+    # Table 4 verdicts.
+    pass3 = {e.through: e.result for e in result.outcome.pass3_entries}
+    assert pass3 == {"and2/A": "M", "inv3/A": "X"}
+    # CSTR1-CSTR3.
+    assert [write_constraint(c) for c in result.outcome.added] == [
+        "set_false_path -to [get_pins rX/D]",
+        "set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]",
+        "set_false_path -from [get_pins rC/CP] -through [get_pins inv3/A] "
+        "-to [get_pins rZ/D]",
+    ]
+    assert result.ok

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Scan-mode merging: the DFT scenario the paper's introduction motivates.
+
+A design with scan flip-flops is timed in (at least) three modes:
+
+* **func**  — functional clock, scan disabled;
+* **shift** — slow scan clock, scan-enable held high, data moves along
+  the scan chain (SI -> Q);
+* **capture** — functional clock with scan-enable released for one cycle,
+  functional data captured into the chain.
+
+This script builds a small scan-stitched design, shows why shift cannot
+merge with the functional modes when their environments differ, merges
+what can merge, and audits the result.
+
+Run:  python examples/scan_modes.py
+"""
+
+from repro.core import build_mergeability_graph, format_merging_run, merge_all
+from repro.netlist import NetlistBuilder
+from repro.sdc import parse_mode
+from repro.timing import BoundMode, RelationshipExtractor, named_endpoint_rows
+
+
+def build_scan_design():
+    b = NetlistBuilder("scan_chip")
+    b.inputs("clk", "scan_clk", "scan_en", "scan_in", "din")
+    # Clock mux: functional clock vs scan clock.
+    ck = b.mux2("ckmux", "clk", "scan_clk", "scan_en")
+    # Two scan flops stitched SI -> Q -> SI, with functional logic between.
+    s1 = b.sdff("s1", d="din", si="scan_in", se="scan_en", clk=ck.out)
+    logic = b.inv("u1", s1.q)
+    s2 = b.sdff("s2", d=logic.out, si=s1.q, se="scan_en", clk=ck.out)
+    b.output("scan_out", s2.q)
+    return b.build()
+
+
+FUNC = """
+create_clock -name FCLK -period 4 [get_ports clk]
+set_case_analysis 0 [get_ports scan_en]
+set_input_delay 0.5 -clock FCLK [get_ports din]
+set_output_delay 0.5 -clock FCLK [get_ports scan_out]
+set_input_transition 0.1 [get_ports din]
+"""
+
+# A second functional mode: same clocking, different multicycle budget on
+# the config path (merges with FUNC).
+FUNC_TURBO = """
+create_clock -name FCLK -period 4 [get_ports clk]
+set_case_analysis 0 [get_ports scan_en]
+set_input_delay 0.8 -clock FCLK [get_ports din]
+set_output_delay 0.5 -clock FCLK [get_ports scan_out]
+set_input_transition 0.1 [get_ports din]
+set_false_path -through [get_pins u1/Z]
+"""
+
+# Scan shift: slow clock, chain active, relaxed environment (out of
+# tolerance with the functional modes -> not mergeable with them).
+SHIFT = """
+create_clock -name SCLK -period 40 [get_ports scan_clk]
+set_case_analysis 1 [get_ports scan_en]
+set_input_delay 5 -clock SCLK [get_ports scan_in]
+set_output_delay 5 -clock SCLK [get_ports scan_out]
+set_input_transition 0.5 [get_ports din]
+"""
+
+
+def main() -> None:
+    netlist = build_scan_design()
+    modes = [
+        parse_mode(FUNC, "func"),
+        parse_mode(FUNC_TURBO, "func_turbo"),
+        parse_mode(SHIFT, "shift"),
+    ]
+
+    analysis = build_mergeability_graph(netlist, modes)
+    print(analysis.summary())
+    for pair, reason in analysis.reasons.items():
+        print(f"  non-mergeable {sorted(pair)}: {reason[:90]}")
+    print()
+
+    run = merge_all(netlist, modes, analysis=analysis)
+    print(format_merging_run(run))
+    print()
+
+    # Show what the merged functional mode times at the scan flop.
+    merged_func = next(m for m in run.merged_modes() if "func" in m.name)
+    bound = BoundMode(netlist, merged_func)
+    rows = named_endpoint_rows(
+        bound, RelationshipExtractor(bound).endpoint_relationships())
+    print(f"relationships of merged mode {merged_func.name!r}:")
+    for (ep, lc, cc), states in sorted(rows.items()):
+        labels = ", ".join(s.label() for s in states)
+        print(f"  {ep:<10} {lc} -> {cc}: {labels}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Result analysis: conformity metrics and the paper's result tables."""
+
+from repro.analysis.conformity import (
+    ConformityReport,
+    EndpointConformity,
+    compare_conformity,
+)
+from repro.analysis.sweeps import (
+    ModeCountSweep,
+    ToleranceSweep,
+    sweep_mode_count,
+    sweep_tolerance,
+)
+from repro.analysis.tables import (
+    PAPER_TABLE6,
+    SuiteResults,
+    Table5Row,
+    Table6Row,
+    run_design,
+    run_suite,
+)
+
+__all__ = [
+    "ConformityReport",
+    "EndpointConformity",
+    "ModeCountSweep",
+    "ToleranceSweep",
+    "PAPER_TABLE6",
+    "SuiteResults",
+    "Table5Row",
+    "Table6Row",
+    "compare_conformity",
+    "run_design",
+    "run_suite",
+    "sweep_mode_count",
+    "sweep_tolerance",
+]

@@ -1,0 +1,17 @@
+"""Baselines: the flows the paper's technique is compared against.
+
+* :func:`~repro.baselines.no_merge.run_sta_all_modes` — analyze every
+  individual mode (Table 6's "Individual" column).
+* :func:`~repro.baselines.naive_union.naive_merge` — union-style merged
+  constraints without refinement (the manual/DAC'09-style practice).
+"""
+
+from repro.baselines.naive_union import NaiveMergeResult, naive_merge
+from repro.baselines.no_merge import MultiModeStaResult, run_sta_all_modes
+
+__all__ = [
+    "MultiModeStaResult",
+    "NaiveMergeResult",
+    "naive_merge",
+    "run_sta_all_modes",
+]

@@ -1,0 +1,78 @@
+"""Baseline: naive union merging (the state of practice the paper improves
+on — cf. its reference [4], DAC 2009 user track).
+
+The naive merge unions clocks (with renaming) and simply concatenates
+every other constraint after clock-name mapping, dropping only outright
+contradictions (conflicting ``set_case_analysis`` values).  No clock
+refinement, no exception uniquification, no 3-pass — so the result
+generally *over-constrains* (exceptions from one mode falsify paths
+another mode times) and *under-times* nothing visible, which is exactly
+the silent sign-off hazard the paper's equivalence checking eliminates.
+
+``naive_merge`` returns the merged mode plus the clock maps so it can be
+audited with :func:`repro.core.equivalence.check_mode_equivalence` — the
+benches use that to show the naive baseline fails the equivalence check
+that the paper's flow passes by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.clock_union import merge_clocks
+from repro.core.steps import MergeContext
+from repro.netlist.netlist import Netlist
+from repro.sdc.commands import (
+    Constraint,
+    CreateClock,
+    CreateGeneratedClock,
+    SetCaseAnalysis,
+)
+from repro.sdc.mode import Mode
+
+
+@dataclass
+class NaiveMergeResult:
+    merged: Mode
+    clock_maps: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    dropped: List[Tuple[str, Constraint]] = field(default_factory=list)
+
+
+def naive_merge(netlist: Netlist, modes: Sequence[Mode],
+                name: str = "") -> NaiveMergeResult:
+    """Union-merge ``modes`` without refinement or validation."""
+    context = MergeContext(netlist, list(modes),
+                           name or "+".join(m.name for m in modes))
+    merge_clocks(context)  # reuse the sound clock union (names must map)
+    merged = context.merged
+    result = NaiveMergeResult(merged=merged, clock_maps=context.clock_maps)
+
+    # Conflicting case values cannot both be applied; last-write-wins would
+    # silently pick one, so the naive flow drops conflicts entirely.
+    case_values: Dict[Tuple, int] = {}
+    conflicted: set = set()
+    for mode in modes:
+        for constraint in mode.case_analyses():
+            key = constraint.key()
+            if key in case_values and case_values[key] != constraint.value:
+                conflicted.add(key)
+            case_values.setdefault(key, constraint.value)
+
+    seen: set = set()
+    for mode in modes:
+        mapping = context.clock_maps[mode.name]
+        for constraint in mode:
+            if isinstance(constraint, (CreateClock, CreateGeneratedClock)):
+                continue  # already unioned
+            if isinstance(constraint, SetCaseAnalysis) \
+                    and constraint.key() in conflicted:
+                result.dropped.append((mode.name, constraint))
+                continue
+            mapped = constraint.rename_clocks(mapping)
+            identity = (mapped.command, repr(mapped))
+            if identity in seen:
+                continue
+            seen.add(identity)
+            merged.add(mapped)
+    return result

@@ -1,0 +1,138 @@
+"""Command-line interface.
+
+Three subcommands mirror how the technique is used in a flow::
+
+    repro-merge merge  chip.v modeA.sdc modeB.sdc ... -o merged.sdc
+    repro-merge audit  chip.v --candidate merged.sdc modeA.sdc modeB.sdc ...
+    repro-merge report chip.v modeA.sdc modeB.sdc ...   # mergeability only
+
+``merge`` runs the full pipeline (mergeability analysis, per-group merges,
+built-in validation) and writes one SDC file per merged mode.  ``audit``
+checks an existing superset mode for relationship equivalence.  ``report``
+prints the mergeability graph and the chosen merge groups without merging.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.core import (
+    build_mergeability_graph,
+    check_mode_equivalence,
+    format_merging_run,
+    merge_all,
+)
+from repro.netlist import read_verilog
+from repro.sdc import Mode, parse_mode, write_mode
+
+
+def _load_modes(paths: List[str]) -> List[Mode]:
+    modes = []
+    for path in paths:
+        text = Path(path).read_text()
+        modes.append(parse_mode(text, Path(path).stem))
+    return modes
+
+
+def _load_netlist(path: str, liberty: str = ""):
+    library = None
+    if liberty:
+        from repro.netlist import read_liberty
+
+        library = read_liberty(Path(liberty).read_text())
+    return read_verilog(Path(path).read_text(), library)
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    netlist = _load_netlist(args.netlist, args.liberty)
+    modes = _load_modes(args.sdc)
+    run = merge_all(netlist, modes)
+    print(format_merging_run(run))
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for outcome in run.outcomes:
+        if outcome.result is None:
+            failures += 1
+            continue
+        if not outcome.result.ok:
+            failures += 1
+        name = outcome.result.merged.name.replace("+", "_")
+        target = out_dir / f"{name}.sdc"
+        target.write_text(write_mode(outcome.result.merged))
+        print(f"wrote {target}")
+    if args.json:
+        import json
+
+        report_path = out_dir / "merge_report.json"
+        report_path.write_text(json.dumps(run.to_dict(), indent=2) + "\n")
+        print(f"wrote {report_path}")
+    return 1 if failures else 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    netlist = _load_netlist(args.netlist, args.liberty)
+    modes = _load_modes(args.sdc)
+    candidate = _load_modes([args.candidate])[0]
+    report = check_mode_equivalence(netlist, modes, candidate)
+    print(report.summary())
+    return 0 if report.equivalent else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    netlist = _load_netlist(args.netlist, args.liberty)
+    modes = _load_modes(args.sdc)
+    analysis = build_mergeability_graph(netlist, modes)
+    print(analysis.summary())
+    for pair, reason in sorted(analysis.reasons.items(),
+                               key=lambda kv: sorted(kv[0])):
+        print(f"  non-mergeable {sorted(pair)}: {reason}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-merge",
+        description="Timing-graph based SDC mode merging (DAC 2015 repro)")
+    parser.add_argument("--liberty", default="",
+                        help="Liberty (.lib) file defining the cell "
+                             "library (default: the built-in generic "
+                             "library)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_merge = sub.add_parser("merge", help="merge modes into superset modes")
+    p_merge.add_argument("netlist", help="structural Verilog netlist")
+    p_merge.add_argument("sdc", nargs="+", help="per-mode SDC files")
+    p_merge.add_argument("-o", "--output", default="merged",
+                         help="output directory for merged SDC files")
+    p_merge.add_argument("--json", action="store_true",
+                         help="also write merge_report.json to the output "
+                              "directory")
+    p_merge.set_defaults(func=cmd_merge)
+
+    p_audit = sub.add_parser("audit",
+                             help="equivalence-audit a superset mode")
+    p_audit.add_argument("netlist")
+    p_audit.add_argument("sdc", nargs="+", help="the individual modes")
+    p_audit.add_argument("--candidate", required=True,
+                         help="the superset-mode SDC to audit")
+    p_audit.set_defaults(func=cmd_audit)
+
+    p_report = sub.add_parser("report", help="mergeability analysis only")
+    p_report.add_argument("netlist")
+    p_report.add_argument("sdc", nargs="+")
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Preliminary merging step 3.1.2: clock-based constraints.
+
+``set_clock_transition``, ``set_clock_latency``, ``set_clock_uncertainty``
+and ``set_propagated_clock`` are merged per *corresponding* constraint:
+clock references are first rewritten through the clock maps of step 3.1.1,
+then constraints with equal identity (:meth:`Constraint.key`) are grouped.
+Values within the tolerance window merge to the minimum of min-type values
+and the maximum of max-type values; values outside the window are a
+mergeability conflict (the paper's "incompatible values" rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.core.steps import MergeContext, StepReport
+from repro.sdc.commands import (
+    CLOCK_ATTACHED_TYPES,
+    Constraint,
+    SetPropagatedClock,
+)
+from repro.sdc.mode import Mode
+
+#: Default relative tolerance for "common" constraint values.
+DEFAULT_TOLERANCE = 0.10
+
+
+def values_within_tolerance(values: List[float], tolerance: float) -> bool:
+    """True when the spread of ``values`` is inside the relative window."""
+    lo, hi = min(values), max(values)
+    scale = max(abs(lo), abs(hi))
+    if scale == 0.0:
+        return True
+    return (hi - lo) <= tolerance * scale
+
+
+def _constraint_clock_names(constraint: Constraint) -> List[str]:
+    """Clock names a (mapped) clock-attached constraint refers to."""
+    objects = getattr(constraint, "objects", None)
+    names: List[str] = []
+    if objects is not None and objects.is_clock_ref:
+        names.extend(objects.patterns)
+    for attr in ("from_clock", "to_clock"):
+        value = getattr(constraint, attr, "")
+        if value:
+            names.append(value)
+    return names
+
+
+def merge_clock_constraints(context: MergeContext,
+                            tolerance: float = DEFAULT_TOLERANCE
+                            ) -> StepReport:
+    """Run step 3.1.2 over all clock-attached constraint classes."""
+    report = context.report("clock-based constraints (3.1.2)")
+
+    # Collect mapped constraints per identity key.
+    groups: Dict[Tuple, List[Tuple[str, Constraint]]] = {}
+    order: List[Tuple] = []
+    mode_clocks: Dict[str, set] = {}
+    for mode in context.modes:
+        mapping = context.clock_maps[mode.name]
+        mode_clocks[mode.name] = {
+            mapping.get(n, n) for n in mode.clock_names()}
+        for constraint in mode.of_type(*CLOCK_ATTACHED_TYPES,
+                                       SetPropagatedClock):
+            mapped = constraint.rename_clocks(mapping)
+            key = mapped.key()
+            if key not in groups:
+                order.append(key)
+            groups.setdefault(key, []).append((mode.name, mapped))
+
+    for key in order:
+        entries = groups[key]
+        sample = entries[0][1]
+        referenced = _constraint_clock_names(sample)
+        if referenced:
+            relevant = [m for m in context.modes
+                        if all(c in mode_clocks[m.name] for c in referenced)]
+        else:
+            relevant = list(context.modes)
+        present_modes = {name for name, _ in entries}
+        missing = [m.name for m in relevant if m.name not in present_modes]
+
+        if isinstance(sample, SetPropagatedClock):
+            # Presence-only constraint: add once if every relevant mode has
+            # it; a partial presence is a conflict (ideal vs propagated
+            # clocking differs between modes).
+            if missing:
+                report.conflict(
+                    context.mode_names(),
+                    f"{sample.command} on {referenced or sample.objects} "
+                    f"missing in modes {missing}")
+                for name, constraint in entries:
+                    report.drop(name, constraint)
+            else:
+                report.add(context.merged.add(sample))
+            continue
+
+        values = [c.value for _, c in entries]
+        if not values_within_tolerance(values, tolerance):
+            report.conflict(
+                context.mode_names(),
+                f"{sample.command} values {sorted(values)} exceed tolerance "
+                f"{tolerance:.0%} (key={key})")
+        if missing:
+            report.note(
+                f"{sample.command} (key={key}) missing in modes {missing}; "
+                f"added with worst-case value")
+        merged_value = min(values) if getattr(sample, "is_min", False) \
+            else max(values)
+        merged = replace(sample, value=merged_value)
+        report.add(context.merged.add(merged))
+        if merged_value != values[0] or len(set(values)) > 1:
+            report.note(
+                f"{sample.command} merged value {merged_value:g} from "
+                f"{sorted(set(values))}")
+    return report

@@ -1,0 +1,126 @@
+"""Preliminary merging step 3.1.1: union of clocks.
+
+Iterate through the clocks of every individual mode and add each
+non-duplicate clock to the merged mode.  A clock is a duplicate when the
+merged mode already has a clock with the same *sources and waveform*
+(names do not matter).  Conflicting names of non-duplicate clocks are
+uniquified with ``_1``-style suffixes, and a two-way map between
+individual and merged clock names is recorded on the context — every later
+step uses those maps to correlate clock-based constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from dataclasses import replace
+
+from repro.sdc.commands import CreateClock, CreateGeneratedClock, ObjectRef
+from repro.sdc.mode import Mode
+from repro.sdc.object_query import ObjectResolver, resolver_for
+from repro.core.steps import MergeContext, StepReport
+
+
+def _source_key(netlist, ref: Optional[ObjectRef]) -> Tuple[str, ...]:
+    """Resolve clock sources to a canonical tuple of design object names."""
+    if ref is None or not ref.patterns:
+        return ()
+    resolver = resolver_for(netlist)
+    names = resolver.resolve_to_pin_like(ref)
+    if not names:
+        # Unresolvable patterns still participate in duplicate detection.
+        names = list(ref.patterns)
+    return tuple(sorted(set(names)))
+
+
+def _clock_signature(netlist, clock: CreateClock) -> Tuple:
+    return (
+        _source_key(netlist, clock.sources),
+        round(clock.period, 9),
+        tuple(round(w, 9) for w in clock.effective_waveform()),
+    )
+
+
+def _generated_signature(netlist, clock: CreateGeneratedClock,
+                         mapped_master: str) -> Tuple:
+    own = _source_key(netlist, clock.sources) if clock.sources \
+        else _source_key(netlist, clock.source)
+    return (
+        "generated",
+        own,
+        _source_key(netlist, clock.source),
+        mapped_master,
+        clock.divide_by,
+        clock.multiply_by,
+        clock.invert,
+    )
+
+
+def _unique_name(base: str, taken: Dict[str, object]) -> str:
+    if base not in taken:
+        return base
+    suffix = 1
+    while f"{base}_{suffix}" in taken:
+        suffix += 1
+    return f"{base}_{suffix}"
+
+
+def merge_clocks(context: MergeContext) -> StepReport:
+    """Run the clock-union step, filling ``context.clock_maps``."""
+    report = context.report("clock union (3.1.1)")
+    netlist = context.netlist
+    # signature -> merged clock name
+    by_signature: Dict[Tuple, str] = {}
+    # merged clock name -> constraint added
+    merged_clocks: Dict[str, object] = {}
+
+    for mode in context.modes:
+        mapping = context.clock_maps[mode.name]
+        for clock in mode.clocks():
+            signature = _clock_signature(netlist, clock)
+            existing = by_signature.get(signature)
+            if existing is not None:
+                mapping[clock.name] = existing
+                context.reverse_clock_map[existing].append(
+                    (mode.name, clock.name))
+                report.note(
+                    f"clock {clock.name!r} of mode {mode.name!r} is a "
+                    f"duplicate of merged clock {existing!r}")
+                continue
+            merged_name = _unique_name(clock.name, merged_clocks)
+            if merged_name != clock.name:
+                report.note(
+                    f"clock {clock.name!r} of mode {mode.name!r} renamed to "
+                    f"{merged_name!r} in the merged mode")
+            merged = replace(clock, name=merged_name, add=True)
+            context.merged.add(merged)
+            report.add(merged)
+            by_signature[signature] = merged_name
+            merged_clocks[merged_name] = merged
+            mapping[clock.name] = merged_name
+            context.reverse_clock_map[merged_name] = [(mode.name, clock.name)]
+
+    # Generated clocks: union by signature, after mapping masters.
+    for mode in context.modes:
+        mapping = context.clock_maps[mode.name]
+        for clock in mode.generated_clocks():
+            mapped_master = mapping.get(clock.master_clock,
+                                        clock.master_clock)
+            signature = _generated_signature(netlist, clock, mapped_master)
+            existing = by_signature.get(signature)
+            if existing is not None:
+                mapping[clock.name] = existing
+                context.reverse_clock_map[existing].append(
+                    (mode.name, clock.name))
+                continue
+            merged_name = _unique_name(clock.name, merged_clocks)
+            merged = replace(clock, name=merged_name,
+                             master_clock=mapped_master, add=True)
+            context.merged.add(merged)
+            report.add(merged)
+            by_signature[signature] = merged_name
+            merged_clocks[merged_name] = merged
+            mapping[clock.name] = merged_name
+            context.reverse_clock_map[merged_name] = [(mode.name, clock.name)]
+
+    return report

@@ -1,0 +1,69 @@
+"""Merged-mode refinement, first step (paper Section 3.2): stop extra
+launch clocks in the data network.
+
+The merged mode may launch clocks into data cones that no individual mode
+launches there (the Constraint Set 5 situation: a case-held register output
+launches nothing in its own mode, but the merged mode dropped the case).
+We compare per-node launch-clock sets and, at the frontier, add
+
+    ``set_false_path -from [get_clocks <ck>] -through <node>``
+
+which falsifies exactly the (clock, node) combinations that are extra.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.clock_refinement import _ref_for_node
+from repro.core.steps import MergeContext, StepReport
+from repro.sdc.commands import ObjectRef, PathSpec, SetFalsePath
+from repro.timing.clocks import ClockPropagation, propagate_launch_clocks
+from repro.timing.graph import ARC_LAUNCH
+
+
+def refine_data_clocks(context: MergeContext) -> StepReport:
+    report = context.report("data refinement: launch clocks (3.2a)")
+    graph = context.graph
+
+    union_ind: Dict[int, Set[str]] = {}
+    for mode, bound in zip(context.modes, context.bound_individuals()):
+        mapping = context.clock_maps[mode.name]
+        launches = propagate_launch_clocks(bound)
+        for node, clocks in launches.items():
+            bucket = union_ind.setdefault(node, set())
+            bucket.update(mapping.get(c, c) for c in clocks)
+
+    merged_bound = context.bind_merged()
+    merged_launches = propagate_launch_clocks(merged_bound)
+    constants = merged_bound.constants
+
+    extra: Dict[int, Set[str]] = {}
+    for node, clocks in merged_launches.items():
+        missing = clocks - union_ind.get(node, set())
+        if missing:
+            extra[node] = missing
+
+    for node in sorted(extra, key=lambda n: graph.topo_rank[n]):
+        for clock_name in sorted(extra[node]):
+            covered = False
+            for arc in graph.fanin[node]:
+                if arc.kind == ARC_LAUNCH:
+                    continue
+                if not constants.arc_is_live(arc):
+                    continue
+                if clock_name in extra.get(arc.src, ()):
+                    covered = True
+                    break
+            if covered:
+                continue
+            fix = SetFalsePath(spec=PathSpec(
+                from_refs=(ObjectRef.clocks(clock_name),),
+                through_refs=(_ref_for_node(graph, node),),
+            ))
+            report.add(context.merged.add(fix))
+            report.note(
+                f"launch clock {clock_name} reaches {graph.name(node)} only "
+                f"in the merged mode; falsified with set_false_path "
+                f"-from/-through")
+    return report

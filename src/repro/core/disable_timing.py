@@ -1,0 +1,39 @@
+"""Preliminary merging step 3.1.5: intersection of ``set_disable_timing``.
+
+A disable survives only when present in every individual mode; anything
+else is dropped (the corresponding arcs are alive in at least one mode, so
+the merged mode must keep them alive — the superset invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.steps import MergeContext, StepReport
+from repro.sdc.commands import SetDisableTiming
+
+
+def merge_disable_timing(context: MergeContext) -> StepReport:
+    report = context.report("disable timing (3.1.5)")
+    mode_count = len(context.modes)
+    groups: Dict[Tuple, List[Tuple[str, SetDisableTiming]]] = {}
+    order: List[Tuple] = []
+    for mode in context.modes:
+        for constraint in mode.disable_timings():
+            key = constraint.key()
+            if key not in groups:
+                order.append(key)
+            groups.setdefault(key, []).append((mode.name, constraint))
+    for key in order:
+        entries = groups[key]
+        present = {name for name, _ in entries}
+        if len(present) == mode_count:
+            report.add(context.merged.add(entries[0][1]))
+        else:
+            missing = [m.name for m in context.modes if m.name not in present]
+            report.note(
+                f"disable on {entries[0][1].objects} only in "
+                f"{sorted(present)} (missing in {missing}); dropped")
+            for name, constraint in entries:
+                report.drop(name, constraint)
+    return report

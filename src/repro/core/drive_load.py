@@ -1,0 +1,70 @@
+"""Preliminary merging step 3.1.6: drive and load constraints.
+
+``set_input_transition``, ``set_drive``, ``set_driving_cell`` and
+``set_load`` describe the electrical environment.  The paper requires them
+to be *the same across all individual modes within the tolerance limit*;
+within-tolerance spreads merge to the worst case (min of min-type, max of
+max-type), anything else is a mergeability conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.core.clock_constraints import (
+    DEFAULT_TOLERANCE,
+    values_within_tolerance,
+)
+from repro.core.steps import MergeContext, StepReport
+from repro.sdc.commands import DRIVE_LOAD_TYPES, SetDrivingCell
+
+
+def merge_drive_load(context: MergeContext,
+                     tolerance: float = DEFAULT_TOLERANCE) -> StepReport:
+    report = context.report("drive/load constraints (3.1.6)")
+    mode_count = len(context.modes)
+    groups: Dict[Tuple, List[Tuple[str, object]]] = {}
+    order: List[Tuple] = []
+    for mode in context.modes:
+        for constraint in mode.of_type(*DRIVE_LOAD_TYPES):
+            key = constraint.key()
+            if key not in groups:
+                order.append(key)
+            groups.setdefault(key, []).append((mode.name, constraint))
+
+    for key in order:
+        entries = groups[key]
+        sample = entries[0][1]
+        present = {name for name, _ in entries}
+        if len(present) != mode_count:
+            missing = [m.name for m in context.modes
+                       if m.name not in present]
+            report.conflict(
+                context.mode_names(),
+                f"{sample.command} on {sample.objects} missing in modes "
+                f"{missing}")
+            report.note(
+                f"{sample.command} on {sample.objects} not common to all "
+                f"modes; added with present values (worst case)")
+        if isinstance(sample, SetDrivingCell):
+            cells = {(c.lib_cell, c.pin) for _, c in entries}
+            if len(cells) > 1:
+                report.conflict(
+                    context.mode_names(),
+                    f"set_driving_cell on {sample.objects} uses different "
+                    f"cells {sorted(cells)}")
+                continue
+            report.add(context.merged.add(sample))
+            continue
+        values = [c.value for _, c in entries]
+        if not values_within_tolerance(values, tolerance):
+            report.conflict(
+                context.mode_names(),
+                f"{sample.command} values {sorted(values)} on "
+                f"{sample.objects} exceed tolerance {tolerance:.0%}")
+        merged_value = min(values) if getattr(sample, "is_min", False) \
+            else max(values)
+        merged = replace(sample, value=merged_value)
+        report.add(context.merged.add(merged))
+    return report

@@ -1,0 +1,365 @@
+"""Mergeability analysis and merge-group selection (paper Section 3,
+Figure 2).
+
+Which modes can merge?  A *mock run of preliminary mode merging* per mode
+pair detects the disqualifiers the paper lists: constraints with
+incompatible values (out-of-tolerance clock/drive/load constraints,
+non-recoverable exceptions) and clock unions that would *block* one mode's
+clocking (a register clocked in an individual mode losing that clock in
+the merged mode).  Mergeable pairs form the **mergeability graph**; merge
+groups are its cliques, found greedily ("as the number of modes is
+small").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.case_analysis import merge_case_analysis
+from repro.core.clock_constraints import merge_clock_constraints
+from repro.core.clock_groups import merge_clock_exclusivity
+from repro.core.clock_refinement import refine_clock_network
+from repro.core.clock_union import merge_clocks
+from repro.core.disable_timing import merge_disable_timing
+from repro.core.drive_load import merge_drive_load
+from repro.core.exceptions_merge import merge_exceptions
+from repro.core.external_delays import merge_external_delays
+from repro.core.merger import MergeOptions, MergeResult, merge_modes
+from repro.core.steps import MergeContext
+from repro.netlist.netlist import Netlist
+from repro.sdc.mode import Mode
+from repro.timing.clocks import ClockPropagation
+
+
+def _preliminary_merge(netlist: Netlist, modes: Sequence[Mode],
+                       options: MergeOptions,
+                       skip_clock_refinement: bool = False) -> MergeContext:
+    """Run only the Section 3.1 steps (the paper's "mock run").
+
+    ``skip_clock_refinement`` defers the one step that needs a full merged
+    binding; the mergeability scan uses it to short-circuit pairs that
+    already conflict on cheap constraint comparisons.
+    """
+    context = MergeContext(netlist, list(modes))
+    merge_clocks(context)
+    merge_clock_constraints(context, options.tolerance)
+    merge_external_delays(context)
+    merge_case_analysis(context)
+    merge_disable_timing(context)
+    merge_drive_load(context, options.tolerance)
+    merge_clock_exclusivity(context)
+    if not skip_clock_refinement:
+        refine_clock_network(context)
+    merge_exceptions(context)
+    return context
+
+
+def clock_blocking_reason(context: MergeContext) -> Optional[str]:
+    """Detect clocks that get blocked by the union (non-mergeable signal).
+
+    For every register clocked by clock ``c`` in an individual mode, the
+    merged mode must clock it with ``map(c)``; otherwise merging the clock
+    trees of the modes has blocked one mode's clocking.
+    """
+    merged_prop = ClockPropagation(context.bind_merged())
+    for mode, bound in zip(context.modes, context.bound_individuals()):
+        mapping = context.clock_maps[mode.name]
+        prop = bound.clock_propagation()
+        for inst_name, clocks in prop.register_clocks.items():
+            merged_clocks = merged_prop.register_clocks.get(inst_name, set())
+            for clock_name in clocks:
+                mapped = mapping.get(clock_name, clock_name)
+                if mapped not in merged_clocks:
+                    return (f"clock {clock_name} of mode {mode.name} is "
+                            f"blocked from register {inst_name} in the "
+                            f"merged mode")
+    return None
+
+
+def pair_mergeable(netlist: Netlist, mode_a: Mode, mode_b: Mode,
+                   options: Optional[MergeOptions] = None
+                   ) -> Tuple[bool, str]:
+    """Mock-merge two modes; (mergeable?, reason when not).
+
+    Cheap constraint-comparison conflicts short-circuit before the
+    merged-mode binding that the clock refinement / clock blocking checks
+    need — this is what keeps the O(modes^2) scan fast on mode-rich
+    designs like the paper's design A (95 modes, 4465 pairs).
+    """
+    opts = options or MergeOptions()
+    try:
+        context = _preliminary_merge(netlist, [mode_a, mode_b], opts,
+                                     skip_clock_refinement=True)
+    except Exception as exc:  # malformed constraints etc.
+        return False, f"preliminary merge failed: {exc}"
+    conflicts = context.all_conflicts()
+    if conflicts:
+        return False, str(conflicts[0])
+    try:
+        refine_clock_network(context)
+    except Exception as exc:
+        return False, f"clock refinement failed: {exc}"
+    conflicts = context.all_conflicts()
+    if conflicts:
+        return False, str(conflicts[0])
+    blocked = clock_blocking_reason(context)
+    if blocked:
+        return False, blocked
+    return True, ""
+
+
+@dataclass
+class MergeabilityAnalysis:
+    """The mergeability graph and the merge groups chosen from it."""
+
+    graph: nx.Graph
+    groups: List[List[str]]
+    reasons: Dict[FrozenSet[str], str] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+
+    def mergeable(self, mode_a: str, mode_b: str) -> bool:
+        return self.graph.has_edge(mode_a, mode_b)
+
+    def reason(self, mode_a: str, mode_b: str) -> str:
+        return self.reasons.get(frozenset((mode_a, mode_b)), "")
+
+    def summary(self) -> str:
+        lines = [
+            f"mergeability graph: {self.graph.number_of_nodes()} modes, "
+            f"{self.graph.number_of_edges()} mergeable pairs",
+            f"merge groups: "
+            + ", ".join("{" + ", ".join(g) + "}" for g in self.groups),
+        ]
+        return "\n".join(lines)
+
+
+# Worker state for the parallel pairwise scan (fork-inherited).
+_POOL_STATE: dict = {}
+
+
+def _pool_init(netlist, modes, options) -> None:
+    _POOL_STATE["netlist"] = netlist
+    _POOL_STATE["modes"] = modes
+    _POOL_STATE["options"] = options
+
+
+def _pool_check(pair):
+    i, j = pair
+    modes = _POOL_STATE["modes"]
+    ok, reason = pair_mergeable(_POOL_STATE["netlist"], modes[i], modes[j],
+                                _POOL_STATE["options"])
+    return i, j, ok, reason
+
+
+def build_mergeability_graph(netlist: Netlist, modes: Sequence[Mode],
+                             options: Optional[MergeOptions] = None,
+                             jobs: int = 1) -> MergeabilityAnalysis:
+    """Pairwise mock merges -> mergeability graph -> greedy clique groups.
+
+    ``jobs > 1`` distributes the O(#modes^2) mock merges over worker
+    processes (the paper ran its engine on 4 cores); requires a fork-based
+    platform and falls back to serial elsewhere.
+    """
+    start = time.perf_counter()
+    graph = nx.Graph()
+    reasons: Dict[FrozenSet[str], str] = {}
+    for mode in modes:
+        graph.add_node(mode.name)
+    mode_list = list(modes)
+    pairs = [(i, j) for i in range(len(mode_list))
+             for j in range(i + 1, len(mode_list))]
+
+    results = None
+    if jobs > 1 and len(pairs) > 1:
+        import multiprocessing as mp
+
+        try:
+            context = mp.get_context("fork")
+        except ValueError:
+            context = None
+        if context is not None:
+            with context.Pool(jobs, initializer=_pool_init,
+                              initargs=(netlist, mode_list, options)) as pool:
+                results = pool.map(_pool_check, pairs,
+                                   chunksize=max(1, len(pairs) // (jobs * 4)))
+    if results is None:
+        results = []
+        for i, j in pairs:
+            ok, reason = pair_mergeable(netlist, mode_list[i], mode_list[j],
+                                        options)
+            results.append((i, j, ok, reason))
+
+    for i, j, ok, reason in results:
+        if ok:
+            graph.add_edge(mode_list[i].name, mode_list[j].name)
+        else:
+            reasons[frozenset((mode_list[i].name, mode_list[j].name))] = reason
+    groups = greedy_clique_cover(graph)
+    return MergeabilityAnalysis(
+        graph=graph,
+        groups=groups,
+        reasons=reasons,
+        runtime_seconds=time.perf_counter() - start,
+    )
+
+
+def greedy_clique_cover(graph: nx.Graph) -> List[List[str]]:
+    """Cover the graph's vertices with cliques, greedily.
+
+    Repeatedly seed a clique at the highest-degree unassigned vertex and
+    grow it with the candidate that keeps the most common neighbours —
+    the paper's "greedy algorithm as the number of modes is small".
+    """
+    remaining: Set[str] = set(graph.nodes)
+    cliques: List[List[str]] = []
+    while remaining:
+        seed = max(sorted(remaining),
+                   key=lambda v: sum(1 for u in graph.neighbors(v)
+                                     if u in remaining))
+        clique = [seed]
+        candidates = {u for u in graph.neighbors(seed) if u in remaining}
+        while candidates:
+            best = max(sorted(candidates), key=lambda v: sum(
+                1 for u in graph.neighbors(v) if u in candidates))
+            clique.append(best)
+            candidates &= set(graph.neighbors(best))
+            candidates.discard(best)
+        cliques.append(sorted(clique))
+        remaining -= set(clique)
+    cliques.sort(key=lambda c: (-len(c), c))
+    return cliques
+
+
+@dataclass
+class GroupOutcome:
+    """Result of merging one clique of modes."""
+
+    mode_names: List[str]
+    result: Optional[MergeResult] = None
+    error: str = ""
+
+    @property
+    def merged(self) -> bool:
+        return self.result is not None and len(self.mode_names) > 1
+
+
+@dataclass
+class MergingRun:
+    """Full design-level run: analysis plus one merge per group."""
+
+    analysis: MergeabilityAnalysis
+    outcomes: List[GroupOutcome] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+
+    @property
+    def individual_count(self) -> int:
+        return sum(len(o.mode_names) for o in self.outcomes)
+
+    @property
+    def merged_count(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def reduction_percent(self) -> float:
+        n = self.individual_count
+        if n == 0:
+            return 0.0
+        return 100.0 * (n - self.merged_count) / n
+
+    def merged_modes(self) -> List[Mode]:
+        """The final mode list: merged supersets plus untouched singles."""
+        modes: List[Mode] = []
+        for outcome in self.outcomes:
+            if outcome.result is not None:
+                modes.append(outcome.result.merged)
+        return modes
+
+    def to_dict(self) -> dict:
+        """JSON-serializable record of the whole run."""
+        return {
+            "individual_modes": self.individual_count,
+            "merged_modes": self.merged_count,
+            "reduction_percent": round(self.reduction_percent, 3),
+            "runtime_seconds": round(self.runtime_seconds, 6),
+            "groups": [
+                {
+                    "modes": list(outcome.mode_names),
+                    "merged": outcome.merged,
+                    "error": outcome.error,
+                    "result": outcome.result.to_dict()
+                    if outcome.result else None,
+                }
+                for outcome in self.outcomes
+            ],
+            "mergeable_pairs": self.analysis.graph.number_of_edges(),
+            "non_mergeable_reasons": {
+                "|".join(sorted(pair)): reason
+                for pair, reason in self.analysis.reasons.items()
+            },
+        }
+
+    def summary(self) -> str:
+        lines = [self.analysis.summary()]
+        lines.append(
+            f"modes: {self.individual_count} -> {self.merged_count} "
+            f"({self.reduction_percent:.1f}% reduction) in "
+            f"{self.runtime_seconds:.2f}s")
+        for outcome in self.outcomes:
+            if outcome.merged:
+                lines.append(f"  merged {{{', '.join(outcome.mode_names)}}}")
+            elif outcome.error:
+                lines.append(f"  kept individual {outcome.mode_names} "
+                             f"({outcome.error})")
+        return "\n".join(lines)
+
+
+def merge_all(netlist: Netlist, modes: Sequence[Mode],
+              options: Optional[MergeOptions] = None,
+              analysis: Optional[MergeabilityAnalysis] = None) -> MergingRun:
+    """The end-to-end flow: analyze mergeability, then merge every group.
+
+    A group whose full merge fails (rare: pairwise mergeability is not
+    transitive) is bisected until its sub-groups merge cleanly.
+    """
+    opts = options or MergeOptions()
+    start = time.perf_counter()
+    if analysis is None:
+        analysis = build_mergeability_graph(netlist, modes, opts)
+    by_name = {mode.name: mode for mode in modes}
+    run = MergingRun(analysis=analysis)
+
+    group_opts = MergeOptions(
+        tolerance=opts.tolerance,
+        max_iterations=opts.max_iterations,
+        strict=False,
+        validate=opts.validate,
+    )
+
+    def merge_group(names: List[str]) -> None:
+        group_modes = [by_name[n] for n in names]
+        if len(group_modes) == 1:
+            result = merge_modes(netlist, group_modes, name=names[0],
+                                 options=group_opts)
+            run.outcomes.append(GroupOutcome(names, result))
+            return
+        result = merge_modes(netlist, group_modes, options=group_opts)
+        if result.ok:
+            run.outcomes.append(GroupOutcome(names, result))
+            return
+        half = len(names) // 2
+        run.outcomes.append(GroupOutcome(
+            names, None,
+            error=f"group merge left {len(result.outcome.residuals)} "
+                  f"residuals; bisecting"))
+        run.outcomes.pop()  # record only the final outcomes
+        merge_group(names[:half])
+        merge_group(names[half:])
+
+    for group in analysis.groups:
+        merge_group(list(group))
+    run.runtime_seconds = time.perf_counter() - start
+    return run

@@ -1,0 +1,168 @@
+"""The merge orchestrator: N mergeable modes -> 1 superset mode.
+
+``merge_modes`` runs the full pipeline of the paper in order:
+
+1. preliminary mode merging (Section 3.1): clock union, clock-based
+   constraints, external delays, case analysis, disable timing, drive/load,
+   clock exclusivity, clock refinement, exceptions with uniquification;
+2. merged-mode refinement (Section 3.2): data-network clock stops and the
+   3-pass timing-relationship comparison with fix synthesis;
+3. (optional) an independent equivalence check of the result — the
+   "correct by construction" validation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.case_analysis import merge_case_analysis
+from repro.core.clock_constraints import DEFAULT_TOLERANCE, merge_clock_constraints
+from repro.core.clock_groups import merge_clock_exclusivity
+from repro.core.clock_refinement import refine_clock_network
+from repro.core.clock_union import merge_clocks
+from repro.core.data_refinement import refine_data_clocks
+from repro.core.disable_timing import merge_disable_timing
+from repro.core.drive_load import merge_drive_load
+from repro.core.exceptions_merge import merge_exceptions
+from repro.core.external_delays import merge_external_delays
+from repro.core.steps import Conflict, MergeContext, StepReport
+from repro.core.three_pass import ThreePassOutcome, run_three_pass
+from repro.errors import RefinementError
+from repro.netlist.netlist import Netlist
+from repro.sdc.mode import Mode
+
+
+@dataclass
+class MergeOptions:
+    """Tunables of the merge pipeline."""
+
+    #: relative tolerance for "common" constraint values (3.1.2 / 3.1.6)
+    tolerance: float = DEFAULT_TOLERANCE
+    #: refinement fix-loop iterations before giving up
+    max_iterations: int = 8
+    #: raise RefinementError when residual mismatches remain
+    strict: bool = True
+    #: run the independent equivalence check after merging
+    validate: bool = True
+
+
+@dataclass
+class MergeResult:
+    """Outcome of merging one group of modes."""
+
+    merged: Mode
+    context: MergeContext
+    outcome: ThreePassOutcome
+    runtime_seconds: float = 0.0
+    validated: bool = False
+    validation_mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def conflicts(self) -> List[Conflict]:
+        return self.context.all_conflicts()
+
+    @property
+    def reports(self) -> List[StepReport]:
+        return self.context.reports
+
+    @property
+    def clock_maps(self) -> Dict[str, Dict[str, str]]:
+        return self.context.clock_maps
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome.clean and not self.validation_mismatches
+
+    def to_dict(self) -> dict:
+        """JSON-serializable record of the merge (for CI artifacts)."""
+        from repro.sdc.writer import write_constraint
+
+        return {
+            "merged_mode": self.merged.name,
+            "individual_modes": [m.name for m in self.context.modes],
+            "constraint_count": len(self.merged),
+            "runtime_seconds": round(self.runtime_seconds, 6),
+            "ok": self.ok,
+            "clock_maps": {name: dict(mapping)
+                           for name, mapping in self.clock_maps.items()},
+            "steps": [
+                {
+                    "name": report.name,
+                    "added": len(report.added),
+                    "dropped": len(report.dropped),
+                    "conflicts": [str(c) for c in report.conflicts],
+                    "notes": report.notes,
+                }
+                for report in self.reports
+            ],
+            "refinement_fixes": [write_constraint(c)
+                                 for c in self.outcome.added],
+            "refinement_iterations": self.outcome.iterations,
+            "residuals": list(self.outcome.residuals),
+            "validation": {
+                "ran": self.validated,
+                "mismatches": list(self.validation_mismatches),
+            },
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"merged mode {self.merged.name!r}: "
+            f"{len(self.context.modes)} modes -> 1, "
+            f"{len(self.merged)} constraints, "
+            f"{self.runtime_seconds * 1000:.1f} ms",
+        ]
+        for report in self.reports:
+            lines.append("  " + report.summary())
+        if self.validated:
+            status = "PASSED" if not self.validation_mismatches else (
+                f"FAILED ({len(self.validation_mismatches)} mismatches)")
+            lines.append(f"  equivalence validation: {status}")
+        return "\n".join(lines)
+
+
+def merge_modes(netlist: Netlist, modes: Sequence[Mode],
+                name: Optional[str] = None,
+                options: Optional[MergeOptions] = None) -> MergeResult:
+    """Merge ``modes`` of ``netlist`` into one superset mode."""
+    opts = options or MergeOptions()
+    start = time.perf_counter()
+    context = MergeContext(netlist, list(modes), name)
+
+    # --- preliminary mode merging (3.1) ---
+    merge_clocks(context)
+    merge_clock_constraints(context, opts.tolerance)
+    merge_external_delays(context)
+    merge_case_analysis(context)
+    merge_disable_timing(context)
+    merge_drive_load(context, opts.tolerance)
+    merge_clock_exclusivity(context)
+    refine_clock_network(context)
+    merge_exceptions(context)
+
+    # --- merged-mode refinement (3.2) ---
+    refine_data_clocks(context)
+    _report, outcome = run_three_pass(context, opts.max_iterations)
+
+    result = MergeResult(
+        merged=context.merged,
+        context=context,
+        outcome=outcome,
+    )
+
+    if opts.validate:
+        from repro.core.equivalence import check_equivalence
+
+        check = check_equivalence(context)
+        result.validated = True
+        result.validation_mismatches = check.mismatches
+
+    result.runtime_seconds = time.perf_counter() - start
+    if opts.strict and not result.ok:
+        problems = outcome.residuals + result.validation_mismatches
+        raise RefinementError(
+            f"merge of {[m.name for m in modes]} left "
+            f"{len(problems)} unresolved mismatches: {problems[:5]}")
+    return result

@@ -1,0 +1,136 @@
+"""Shared plumbing for the preliminary-merge steps.
+
+Every step of Section 3.1 consumes a :class:`MergeContext` (the design, the
+individual modes, the clock maps produced by the clock-union step, and the
+merged mode under construction) and records what it did in a
+:class:`StepReport`.  Conflicts recorded by a step are the signals the
+mergeability analysis (Section 3's mock run) uses to declare mode pairs
+non-mergeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.netlist import Netlist
+from repro.sdc.commands import Constraint
+from repro.sdc.mode import Mode
+from repro.timing.graph import TimingGraph, build_graph
+
+
+@dataclass
+class Conflict:
+    """A reason two (or more) modes cannot be merged cleanly."""
+
+    modes: Tuple[str, ...]
+    reason: str
+
+    def __str__(self) -> str:
+        return f"[{', '.join(self.modes)}] {self.reason}"
+
+
+@dataclass
+class StepReport:
+    """What one merge step did."""
+
+    name: str
+    added: List[Constraint] = field(default_factory=list)
+    dropped: List[Tuple[str, Constraint]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    conflicts: List[Conflict] = field(default_factory=list)
+
+    def add(self, constraint: Constraint) -> Constraint:
+        self.added.append(constraint)
+        return constraint
+
+    def drop(self, mode_name: str, constraint: Constraint) -> None:
+        self.dropped.append((mode_name, constraint))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def conflict(self, modes: Tuple[str, ...], reason: str) -> None:
+        self.conflicts.append(Conflict(modes, reason))
+
+    def summary(self) -> str:
+        return (f"{self.name}: +{len(self.added)} constraints, "
+                f"-{len(self.dropped)} dropped, "
+                f"{len(self.conflicts)} conflicts")
+
+
+#: Process-wide cache of bound individual modes (see bound_individuals).
+_BOUND_MODE_CACHE: Dict[Tuple[int, int], object] = {}
+
+
+class MergeContext:
+    """State shared by all merge steps for one merge group."""
+
+    def __init__(self, netlist: Netlist, modes: List[Mode],
+                 merged_name: Optional[str] = None):
+        if not modes:
+            raise ValueError("need at least one mode to merge")
+        self.netlist = netlist
+        self.graph: TimingGraph = build_graph(netlist)
+        self.modes = list(modes)
+        self.merged_name = merged_name or "+".join(m.name for m in modes)
+        self.merged = Mode(self.merged_name)
+        #: per individual mode: original clock name -> merged clock name
+        self.clock_maps: Dict[str, Dict[str, str]] = {
+            m.name: {} for m in modes}
+        #: merged clock name -> list of (mode name, original clock name)
+        self.reverse_clock_map: Dict[str, List[Tuple[str, str]]] = {}
+        self.reports: List[StepReport] = []
+        #: case-analysis constraints dropped in step 3.1.4 (mode, constraint)
+        self.dropped_cases: List[Tuple[str, Constraint]] = []
+
+    def bound_individuals(self):
+        """Bound (resolved) views of the individual modes.
+
+        Cached per (netlist, mode) pair process-wide: individual modes are
+        never mutated by the merge pipeline, and the mergeability analysis
+        re-binds the same modes for every pairwise mock merge.
+        """
+        if not hasattr(self, "_bound_individuals"):
+            from repro.timing.context import BoundMode
+
+            bound = []
+            for mode in self.modes:
+                key = (id(self.netlist), id(mode))
+                cached = _BOUND_MODE_CACHE.get(key)
+                if cached is None or cached.mode is not mode \
+                        or cached.netlist is not self.netlist \
+                        or len(cached.mode) != len(mode):
+                    cached = BoundMode(self.netlist, mode, self.graph)
+                    _BOUND_MODE_CACHE[key] = cached
+                bound.append(cached)
+            self._bound_individuals = bound
+        return self._bound_individuals
+
+    def bind_merged(self):
+        """Fresh bound view of the merged mode (it grows step by step)."""
+        from repro.timing.context import BoundMode
+
+        return BoundMode(self.netlist, self.merged, self.graph)
+
+    def report(self, name: str) -> StepReport:
+        report = StepReport(name)
+        self.reports.append(report)
+        return report
+
+    def clock_map(self, mode_name: str) -> Dict[str, str]:
+        return self.clock_maps[mode_name]
+
+    def mapped_clocks(self, mode: Mode) -> List[str]:
+        """The merged-mode names of one individual mode's clocks."""
+        mapping = self.clock_maps[mode.name]
+        return [mapping.get(name, name) for name in mode.clock_names()]
+
+    def all_conflicts(self) -> List[Conflict]:
+        out: List[Conflict] = []
+        for report in self.reports:
+            out.extend(report.conflicts)
+        return out
+
+    def mode_names(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self.modes)

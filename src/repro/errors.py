@@ -1,0 +1,110 @@
+"""Exception hierarchy for the mode-merging library.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+caller embedding the library can catch one type.  Sub-hierarchies exist per
+subsystem (netlist, SDC, timing, merging) because users typically want to
+treat "my design is malformed" differently from "my constraints are
+malformed" and from "these modes cannot be merged".
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NetlistError(ReproError):
+    """Base class for netlist construction / consistency errors."""
+
+
+class UnknownCellError(NetlistError):
+    """A cell type name was not found in the cell library."""
+
+
+class DuplicateObjectError(NetlistError):
+    """An instance, net or port with the same name already exists."""
+
+    def __init__(self, kind: str, name: str):
+        super().__init__(f"duplicate {kind} {name!r}")
+        self.kind = kind
+        self.name = name
+
+
+class ConnectivityError(NetlistError):
+    """A connection request is inconsistent (missing pin, double driver...)."""
+
+
+class VerilogSyntaxError(NetlistError):
+    """The structural-Verilog reader hit a construct it cannot parse."""
+
+    def __init__(self, message: str, line: int = 0):
+        prefix = f"line {line}: " if line else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+class SdcError(ReproError):
+    """Base class for SDC parsing / emission errors."""
+
+
+class SdcSyntaxError(SdcError):
+    """Malformed SDC text (bad token, unterminated bracket, ...)."""
+
+    def __init__(self, message: str, line: int = 0):
+        prefix = f"line {line}: " if line else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+class SdcCommandError(SdcError):
+    """A syntactically valid command has invalid arguments."""
+
+    def __init__(self, command: str, message: str, line: int = 0):
+        prefix = f"line {line}: " if line else ""
+        super().__init__(f"{prefix}{command}: {message}")
+        self.command = command
+        self.line = line
+
+
+class SdcLookupError(SdcError):
+    """An object query (``get_pins`` etc.) matched nothing and was required."""
+
+
+class TimingError(ReproError):
+    """Base class for timing-graph / STA errors."""
+
+
+class CombinationalLoopError(TimingError):
+    """The data network contains a cycle the analysis cannot order."""
+
+    def __init__(self, cycle_pins):
+        names = " -> ".join(cycle_pins)
+        super().__init__(f"combinational loop: {names}")
+        self.cycle_pins = list(cycle_pins)
+
+
+class NoClockError(TimingError):
+    """An operation that requires propagated clocks found none."""
+
+
+class MergeError(ReproError):
+    """Base class for mode-merging errors."""
+
+
+class NotMergeableError(MergeError):
+    """The requested modes were determined to be non-mergeable."""
+
+    def __init__(self, mode_a: str, mode_b: str, reason: str):
+        super().__init__(f"modes {mode_a!r} and {mode_b!r} are not mergeable: {reason}")
+        self.mode_a = mode_a
+        self.mode_b = mode_b
+        self.reason = reason
+
+
+class RefinementError(MergeError):
+    """Refinement could not reconcile the merged mode with the originals."""
+
+
+class EquivalenceError(MergeError):
+    """An equivalence check found a residual mismatch after refinement."""

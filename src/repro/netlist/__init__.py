@@ -1,0 +1,65 @@
+"""Gate-level netlist substrate.
+
+Public surface:
+
+* :class:`~repro.netlist.netlist.Netlist` — the flat design model.
+* :class:`~repro.netlist.builder.NetlistBuilder` — programmatic construction.
+* :func:`~repro.netlist.builder.figure1_circuit` — the paper's Figure-1 circuit.
+* :func:`~repro.netlist.verilog.read_verilog` / ``write_verilog`` — I/O.
+* :func:`~repro.netlist.cells.generic_library` — the default cell library.
+* :func:`~repro.netlist.validate.validate` — structural checks.
+"""
+
+from repro.netlist.cells import (
+    ArcKind,
+    ArcSpec,
+    CellLibrary,
+    CellType,
+    GENERIC_LIB,
+    LOGIC_X,
+    PinDirection,
+    PinSpec,
+    Unateness,
+    generic_library,
+)
+from repro.netlist.builder import GateRef, NetlistBuilder, figure1_circuit
+from repro.netlist.liberty import (
+    LibertyGroup,
+    LibertySyntaxError,
+    compile_function,
+    parse_liberty,
+    read_liberty,
+)
+from repro.netlist.netlist import Instance, Net, Netlist, Pin, Port
+from repro.netlist.validate import ValidationReport, validate
+from repro.netlist.verilog import read_verilog, write_verilog
+
+__all__ = [
+    "ArcKind",
+    "ArcSpec",
+    "CellLibrary",
+    "CellType",
+    "GENERIC_LIB",
+    "GateRef",
+    "Instance",
+    "LOGIC_X",
+    "LibertyGroup",
+    "LibertySyntaxError",
+    "Net",
+    "Netlist",
+    "NetlistBuilder",
+    "Pin",
+    "PinDirection",
+    "PinSpec",
+    "Port",
+    "Unateness",
+    "ValidationReport",
+    "compile_function",
+    "figure1_circuit",
+    "generic_library",
+    "parse_liberty",
+    "read_liberty",
+    "read_verilog",
+    "validate",
+    "write_verilog",
+]

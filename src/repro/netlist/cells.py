@@ -1,0 +1,473 @@
+"""Cell library: the primitive gate types a netlist may instantiate.
+
+The library is deliberately small but complete enough to express the kinds
+of circuitry the paper's examples and evaluation need: simple combinational
+gates, multiplexers, sequential elements (flip-flops and latches),
+integrated clock-gating cells and tie cells.
+
+Each :class:`CellType` carries
+
+* its pins with directions,
+* a boolean function per output pin (used for constant propagation under
+  ``set_case_analysis``),
+* its timing arcs with *unateness* (used for clock sense and rise/fall
+  bookkeeping),
+* sequential metadata (which pin is the clock, which the data, ...).
+
+Functions are expressed over the ternary domain ``{0, 1, X}`` so constant
+propagation can run directly on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import UnknownCellError
+
+# Ternary logic values. ``X`` means "unknown / toggling".
+LOGIC_X = "X"
+LOGIC_0 = 0
+LOGIC_1 = 1
+
+Ternary = object  # 0 | 1 | "X"
+
+
+class PinDirection(Enum):
+    """Direction of a cell pin."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+class Unateness(Enum):
+    """Arc sense: how an input transition maps to an output transition."""
+
+    POSITIVE = "positive"
+    NEGATIVE = "negative"
+    NON_UNATE = "non_unate"
+
+
+class ArcKind(Enum):
+    """Role of a timing arc."""
+
+    COMBINATIONAL = "combinational"
+    # Clock-to-output arc of a sequential cell (CP -> Q).
+    LAUNCH = "launch"
+    # Setup/hold check arc (D relative to CP); not a propagation arc.
+    CHECK = "check"
+
+
+@dataclass(frozen=True)
+class PinSpec:
+    """Declaration of one pin on a cell type."""
+
+    name: str
+    direction: PinDirection
+    is_clock: bool = False
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction is PinDirection.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction is PinDirection.OUTPUT
+
+
+@dataclass(frozen=True)
+class ArcSpec:
+    """Declaration of one timing arc on a cell type."""
+
+    from_pin: str
+    to_pin: str
+    unateness: Unateness
+    kind: ArcKind = ArcKind.COMBINATIONAL
+
+
+@dataclass
+class CellType:
+    """A library cell: pins, function, arcs and sequential metadata."""
+
+    name: str
+    pins: Sequence[PinSpec]
+    arcs: Sequence[ArcSpec] = ()
+    # Map output pin name -> function over dict of input values.
+    functions: Mapping[str, Callable[[Mapping[str, Ternary]], Ternary]] = field(
+        default_factory=dict
+    )
+    is_sequential: bool = False
+    # For sequential cells.
+    clock_pin: Optional[str] = None
+    data_pins: Tuple[str, ...] = ()
+    output_pins_seq: Tuple[str, ...] = ()
+    # True for latches (level sensitive) as opposed to edge-triggered FFs.
+    is_latch: bool = False
+    # Integrated clock gate: output follows clock when enabled.
+    is_clock_gate: bool = False
+    # Active clock edge of sequential cells: "r" (rising) or "f" (falling).
+    active_edge: str = "r"
+    # Intrinsic delay used by the wire-load delay model (arbitrary units).
+    base_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._pin_map: Dict[str, PinSpec] = {p.name: p for p in self.pins}
+
+    def pin(self, name: str) -> PinSpec:
+        return self._pin_map[name]
+
+    def has_pin(self, name: str) -> bool:
+        return name in self._pin_map
+
+    @property
+    def input_pins(self) -> List[PinSpec]:
+        return [p for p in self.pins if p.is_input]
+
+    @property
+    def output_pins(self) -> List[PinSpec]:
+        return [p for p in self.pins if p.is_output]
+
+    def evaluate(self, output: str, inputs: Mapping[str, Ternary]) -> Ternary:
+        """Evaluate the function of ``output`` over ternary ``inputs``."""
+        func = self.functions.get(output)
+        if func is None:
+            return LOGIC_X
+        return func(inputs)
+
+
+def _t_not(v: Ternary) -> Ternary:
+    if v == LOGIC_X:
+        return LOGIC_X
+    return 1 - v  # type: ignore[operator]
+
+
+def _t_and(values: Sequence[Ternary]) -> Ternary:
+    if any(v == 0 for v in values):
+        return 0
+    if any(v == LOGIC_X for v in values):
+        return LOGIC_X
+    return 1
+
+
+def _t_or(values: Sequence[Ternary]) -> Ternary:
+    if any(v == 1 for v in values):
+        return 1
+    if any(v == LOGIC_X for v in values):
+        return LOGIC_X
+    return 0
+
+
+def _t_xor(values: Sequence[Ternary]) -> Ternary:
+    if any(v == LOGIC_X for v in values):
+        return LOGIC_X
+    acc = 0
+    for v in values:
+        acc ^= v  # type: ignore[operator]
+    return acc
+
+
+def _comb(name: str, n_inputs: int, func, unate: Unateness, base_delay: float = 1.0,
+          input_names: Optional[Sequence[str]] = None) -> CellType:
+    """Build an n-input single-output combinational cell."""
+    if input_names is None:
+        input_names = [chr(ord("A") + i) for i in range(n_inputs)]
+    pins = [PinSpec(nm, PinDirection.INPUT) for nm in input_names]
+    pins.append(PinSpec("Z", PinDirection.OUTPUT))
+    arcs = [ArcSpec(nm, "Z", unate) for nm in input_names]
+    functions = {"Z": func}
+    return CellType(
+        name=name,
+        pins=pins,
+        arcs=arcs,
+        functions=functions,
+        base_delay=base_delay,
+    )
+
+
+def _make_mux() -> CellType:
+    """2:1 mux: Z = S ? B : A."""
+
+    def fn(inputs: Mapping[str, Ternary]) -> Ternary:
+        s = inputs.get("S", LOGIC_X)
+        a = inputs.get("A", LOGIC_X)
+        b = inputs.get("B", LOGIC_X)
+        if s == 0:
+            return a
+        if s == 1:
+            return b
+        if a == b and a != LOGIC_X:
+            return a
+        return LOGIC_X
+
+    pins = [
+        PinSpec("A", PinDirection.INPUT),
+        PinSpec("B", PinDirection.INPUT),
+        PinSpec("S", PinDirection.INPUT),
+        PinSpec("Z", PinDirection.OUTPUT),
+    ]
+    arcs = [
+        ArcSpec("A", "Z", Unateness.POSITIVE),
+        ArcSpec("B", "Z", Unateness.POSITIVE),
+        ArcSpec("S", "Z", Unateness.NON_UNATE),
+    ]
+    return CellType(name="MUX2", pins=pins, arcs=arcs, functions={"Z": fn},
+                    base_delay=1.2)
+
+
+def _make_dff() -> CellType:
+    """Rising-edge D flip-flop with Q output."""
+    pins = [
+        PinSpec("D", PinDirection.INPUT),
+        PinSpec("CP", PinDirection.INPUT, is_clock=True),
+        PinSpec("Q", PinDirection.OUTPUT),
+    ]
+    arcs = [
+        ArcSpec("CP", "Q", Unateness.POSITIVE, ArcKind.LAUNCH),
+        ArcSpec("D", "CP", Unateness.NON_UNATE, ArcKind.CHECK),
+    ]
+    return CellType(
+        name="DFF",
+        pins=pins,
+        arcs=arcs,
+        functions={},
+        is_sequential=True,
+        clock_pin="CP",
+        data_pins=("D",),
+        output_pins_seq=("Q",),
+        base_delay=1.5,
+    )
+
+
+def _make_dffn() -> CellType:
+    """Falling-edge D flip-flop."""
+    pins = [
+        PinSpec("D", PinDirection.INPUT),
+        PinSpec("CPN", PinDirection.INPUT, is_clock=True),
+        PinSpec("Q", PinDirection.OUTPUT),
+    ]
+    arcs = [
+        ArcSpec("CPN", "Q", Unateness.POSITIVE, ArcKind.LAUNCH),
+        ArcSpec("D", "CPN", Unateness.NON_UNATE, ArcKind.CHECK),
+    ]
+    return CellType(
+        name="DFFN",
+        pins=pins,
+        arcs=arcs,
+        functions={},
+        is_sequential=True,
+        clock_pin="CPN",
+        data_pins=("D",),
+        output_pins_seq=("Q",),
+        active_edge="f",
+        base_delay=1.5,
+    )
+
+
+def _make_dff_qn() -> CellType:
+    """Rising-edge D flip-flop with true and complement outputs."""
+    pins = [
+        PinSpec("D", PinDirection.INPUT),
+        PinSpec("CP", PinDirection.INPUT, is_clock=True),
+        PinSpec("Q", PinDirection.OUTPUT),
+        PinSpec("QN", PinDirection.OUTPUT),
+    ]
+    arcs = [
+        ArcSpec("CP", "Q", Unateness.POSITIVE, ArcKind.LAUNCH),
+        ArcSpec("CP", "QN", Unateness.NEGATIVE, ArcKind.LAUNCH),
+        ArcSpec("D", "CP", Unateness.NON_UNATE, ArcKind.CHECK),
+    ]
+    return CellType(
+        name="DFFQN",
+        pins=pins,
+        arcs=arcs,
+        functions={},
+        is_sequential=True,
+        clock_pin="CP",
+        data_pins=("D",),
+        output_pins_seq=("Q", "QN"),
+        base_delay=1.5,
+    )
+
+
+def _make_sdff() -> CellType:
+    """Scan flip-flop: D/SI muxed by SE in front of a rising-edge FF."""
+    pins = [
+        PinSpec("D", PinDirection.INPUT),
+        PinSpec("SI", PinDirection.INPUT),
+        PinSpec("SE", PinDirection.INPUT),
+        PinSpec("CP", PinDirection.INPUT, is_clock=True),
+        PinSpec("Q", PinDirection.OUTPUT),
+    ]
+    arcs = [
+        ArcSpec("CP", "Q", Unateness.POSITIVE, ArcKind.LAUNCH),
+        ArcSpec("D", "CP", Unateness.NON_UNATE, ArcKind.CHECK),
+        ArcSpec("SI", "CP", Unateness.NON_UNATE, ArcKind.CHECK),
+        ArcSpec("SE", "CP", Unateness.NON_UNATE, ArcKind.CHECK),
+    ]
+    return CellType(
+        name="SDFF",
+        pins=pins,
+        arcs=arcs,
+        functions={},
+        is_sequential=True,
+        clock_pin="CP",
+        data_pins=("D", "SI", "SE"),
+        output_pins_seq=("Q",),
+        base_delay=1.6,
+    )
+
+
+def _make_latch() -> CellType:
+    """Active-high transparent latch."""
+    pins = [
+        PinSpec("D", PinDirection.INPUT),
+        PinSpec("G", PinDirection.INPUT, is_clock=True),
+        PinSpec("Q", PinDirection.OUTPUT),
+    ]
+    arcs = [
+        ArcSpec("G", "Q", Unateness.POSITIVE, ArcKind.LAUNCH),
+        ArcSpec("D", "Q", Unateness.POSITIVE, ArcKind.COMBINATIONAL),
+        ArcSpec("D", "G", Unateness.NON_UNATE, ArcKind.CHECK),
+    ]
+    return CellType(
+        name="LATCH",
+        pins=pins,
+        arcs=arcs,
+        functions={},
+        is_sequential=True,
+        is_latch=True,
+        clock_pin="G",
+        data_pins=("D",),
+        output_pins_seq=("Q",),
+        base_delay=1.3,
+    )
+
+
+def _make_icg() -> CellType:
+    """Integrated clock-gating cell: ECK = CP gated by EN.
+
+    The ECK output follows the clock when ``EN`` is 1 and is constant 0
+    when ``EN`` is 0, which is exactly what constant propagation needs to
+    stop clocks through disabled gates.
+    """
+
+    def fn(inputs: Mapping[str, Ternary]) -> Ternary:
+        en = inputs.get("EN", LOGIC_X)
+        cp = inputs.get("CP", LOGIC_X)
+        if en == 0:
+            return 0
+        if en == 1:
+            return cp
+        return LOGIC_X
+
+    pins = [
+        PinSpec("CP", PinDirection.INPUT, is_clock=True),
+        PinSpec("EN", PinDirection.INPUT),
+        PinSpec("ECK", PinDirection.OUTPUT),
+    ]
+    arcs = [
+        ArcSpec("CP", "ECK", Unateness.POSITIVE),
+        ArcSpec("EN", "CP", Unateness.NON_UNATE, ArcKind.CHECK),
+    ]
+    return CellType(
+        name="ICG",
+        pins=pins,
+        arcs=arcs,
+        functions={"ECK": fn},
+        is_clock_gate=True,
+        clock_pin="CP",
+        base_delay=0.8,
+    )
+
+
+def _make_tie(name: str, value: int) -> CellType:
+    pins = [PinSpec("Z", PinDirection.OUTPUT)]
+    return CellType(
+        name=name,
+        pins=pins,
+        arcs=(),
+        functions={"Z": (lambda _inputs, v=value: v)},
+        base_delay=0.0,
+    )
+
+
+class CellLibrary:
+    """A named collection of :class:`CellType` objects."""
+
+    def __init__(self, name: str = "generic"):
+        self.name = name
+        self._cells: Dict[str, CellType] = {}
+
+    def add(self, cell: CellType) -> CellType:
+        self._cells[cell.name] = cell
+        return cell
+
+    def get(self, name: str) -> CellType:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise UnknownCellError(
+                f"cell type {name!r} not in library {self.name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def names(self) -> List[str]:
+        return sorted(self._cells)
+
+
+def generic_library() -> CellLibrary:
+    """Build the default library used throughout the reproduction."""
+    lib = CellLibrary("generic")
+    lib.add(_comb("INV", 1, lambda i: _t_not(i.get("A", LOGIC_X)),
+                  Unateness.NEGATIVE, base_delay=0.6))
+    lib.add(_comb("BUF", 1, lambda i: i.get("A", LOGIC_X),
+                  Unateness.POSITIVE, base_delay=0.5))
+    lib.add(_comb("AND2", 2,
+                  lambda i: _t_and([i.get("A", LOGIC_X), i.get("B", LOGIC_X)]),
+                  Unateness.POSITIVE, base_delay=1.0))
+    lib.add(_comb("AND3", 3,
+                  lambda i: _t_and([i.get("A", LOGIC_X), i.get("B", LOGIC_X),
+                                    i.get("C", LOGIC_X)]),
+                  Unateness.POSITIVE, base_delay=1.1))
+    lib.add(_comb("OR2", 2,
+                  lambda i: _t_or([i.get("A", LOGIC_X), i.get("B", LOGIC_X)]),
+                  Unateness.POSITIVE, base_delay=1.0))
+    lib.add(_comb("OR3", 3,
+                  lambda i: _t_or([i.get("A", LOGIC_X), i.get("B", LOGIC_X),
+                                   i.get("C", LOGIC_X)]),
+                  Unateness.POSITIVE, base_delay=1.1))
+    lib.add(_comb("NAND2", 2,
+                  lambda i: _t_not(_t_and([i.get("A", LOGIC_X),
+                                           i.get("B", LOGIC_X)])),
+                  Unateness.NEGATIVE, base_delay=0.9))
+    lib.add(_comb("NOR2", 2,
+                  lambda i: _t_not(_t_or([i.get("A", LOGIC_X),
+                                          i.get("B", LOGIC_X)])),
+                  Unateness.NEGATIVE, base_delay=0.9))
+    lib.add(_comb("XOR2", 2,
+                  lambda i: _t_xor([i.get("A", LOGIC_X), i.get("B", LOGIC_X)]),
+                  Unateness.NON_UNATE, base_delay=1.3))
+    lib.add(_comb("XNOR2", 2,
+                  lambda i: _t_not(_t_xor([i.get("A", LOGIC_X),
+                                           i.get("B", LOGIC_X)])),
+                  Unateness.NON_UNATE, base_delay=1.3))
+    lib.add(_make_mux())
+    lib.add(_make_dff())
+    lib.add(_make_dffn())
+    lib.add(_make_dff_qn())
+    lib.add(_make_sdff())
+    lib.add(_make_latch())
+    lib.add(_make_icg())
+    lib.add(_make_tie("TIE0", 0))
+    lib.add(_make_tie("TIE1", 1))
+    return lib
+
+
+#: Module-level default library instance (cells are immutable; sharing is safe).
+GENERIC_LIB = generic_library()

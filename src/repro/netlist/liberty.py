@@ -1,0 +1,390 @@
+"""Reader for a Liberty (.lib) subset.
+
+Real flows define their cells in Liberty format; this reader covers the
+structural subset needed to build a :class:`CellLibrary`: ``cell`` groups
+with ``pin`` groups (``direction``, ``clock``, ``function``) and ``ff``
+groups (``next_state``, ``clocked_on``).  Boolean ``function`` expressions
+(``!``, ``&``, ``|``, ``^``, ``'`` postfix-invert, parentheses) are parsed
+into ternary-domain evaluators, and per-input unateness is derived by
+exhaustive evaluation — so Liberty cells drive constant propagation and
+edge tracking exactly like the built-in library.
+
+Unsupported Liberty constructs (tables, operating conditions, buses, ...)
+are skipped structurally: unknown groups and attributes are ignored, so a
+production .lib trimmed to cells/pins parses directly.
+"""
+
+from __future__ import annotations
+
+import re
+from itertools import product
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.cells import (
+    ArcKind,
+    ArcSpec,
+    CellLibrary,
+    CellType,
+    LOGIC_X,
+    PinDirection,
+    PinSpec,
+    Unateness,
+)
+
+
+class LibertySyntaxError(NetlistError):
+    """Malformed Liberty text."""
+
+
+# ---------------------------------------------------------------------------
+# generic group parsing
+# ---------------------------------------------------------------------------
+class LibertyGroup:
+    """One ``name (args) { ... }`` group."""
+
+    def __init__(self, name: str, args: List[str]):
+        self.name = name
+        self.args = args
+        self.attributes: Dict[str, str] = {}
+        self.subgroups: List["LibertyGroup"] = []
+
+    def groups(self, name: str) -> List["LibertyGroup"]:
+        return [g for g in self.subgroups if g.name == name]
+
+    def get(self, attribute: str, default: str = "") -> str:
+        return self.attributes.get(attribute, default)
+
+    def __repr__(self) -> str:
+        return f"LibertyGroup({self.name}, {self.args})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>/\*.*?\*/|//[^\n]*)
+  | (?P<string>"[^"]*")
+  | (?P<word>[\w.+\-!&|^']+)
+  | (?P<punct>[{}():;,])
+  | (?P<space>\s+)
+  | (?P<other>.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        if kind in ("comment", "space"):
+            continue
+        if kind == "other":
+            raise LibertySyntaxError(
+                f"unexpected character {match.group()!r}")
+        value = match.group()
+        if kind == "string":
+            value = value[1:-1]
+        tokens.append(value)
+    return tokens
+
+
+def parse_liberty(text: str) -> LibertyGroup:
+    """Parse Liberty ``text`` into its top-level group (``library``)."""
+    tokens = _tokenize(text)
+    pos = 0
+
+    def parse_group() -> LibertyGroup:
+        nonlocal pos
+        name = tokens[pos]
+        pos += 1
+        args: List[str] = []
+        if pos < len(tokens) and tokens[pos] == "(":
+            pos += 1
+            while tokens[pos] != ")":
+                if tokens[pos] != ",":
+                    args.append(tokens[pos])
+                pos += 1
+            pos += 1
+        if pos >= len(tokens) or tokens[pos] != "{":
+            raise LibertySyntaxError(f"group {name!r}: expected '{{'")
+        pos += 1
+        group = LibertyGroup(name, args)
+        while tokens[pos] != "}":
+            # Lookahead: attribute ("k : v ;") or subgroup ("k (...) {").
+            key = tokens[pos]
+            if pos + 1 < len(tokens) and tokens[pos + 1] == ":":
+                value_parts = []
+                pos += 2
+                while tokens[pos] not in (";", "}"):
+                    value_parts.append(tokens[pos])
+                    pos += 1
+                if tokens[pos] == ";":
+                    pos += 1
+                group.attributes[key] = " ".join(value_parts)
+            else:
+                group.subgroups.append(parse_group())
+        pos += 1  # consume '}'
+        if pos < len(tokens) and tokens[pos] == ";":
+            pos += 1
+        return group
+
+    root = parse_group()
+    if root.name != "library":
+        raise LibertySyntaxError(
+            f"expected a 'library' group, found {root.name!r}")
+    return root
+
+
+# ---------------------------------------------------------------------------
+# boolean function expressions
+# ---------------------------------------------------------------------------
+class _ExprParser:
+    """Liberty boolean expressions over {!, ', &, *, |, +, ^, ()}.
+
+    Whitespace between adjacent terms also means AND in Liberty; the
+    tokenizer above has already joined expression characters into words,
+    so this parser re-splits its input string.
+    """
+
+    _TOKEN = re.compile(r"[A-Za-z_]\w*|[!&|^()'*+]|[01]")
+
+    def __init__(self, text: str):
+        self.tokens = self._TOKEN.findall(text)
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise LibertySyntaxError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def parse(self):
+        node = self._or()
+        if self.peek() is not None:
+            raise LibertySyntaxError(
+                f"trailing tokens in expression: {self.tokens[self.pos:]}")
+        return node
+
+    def _or(self):
+        node = self._xor()
+        while self.peek() in ("|", "+"):
+            self.next()
+            node = ("or", node, self._xor())
+        return node
+
+    def _xor(self):
+        node = self._and()
+        while self.peek() == "^":
+            self.next()
+            node = ("xor", node, self._and())
+        return node
+
+    def _and(self):
+        node = self._unary()
+        while True:
+            token = self.peek()
+            if token in ("&", "*"):
+                self.next()
+                node = ("and", node, self._unary())
+            elif token is not None and (token.isidentifier()
+                                        or token in ("!", "(", "0", "1")):
+                # Adjacency = AND.
+                node = ("and", node, self._unary())
+            else:
+                return node
+
+    def _unary(self):
+        token = self.next()
+        if token == "!":
+            node = ("not", self._unary())
+        elif token == "(":
+            node = self._or()
+            if self.next() != ")":
+                raise LibertySyntaxError("unbalanced ')' in expression")
+        elif token in ("0", "1"):
+            node = ("const", int(token))
+        else:
+            node = ("var", token)
+        while self.peek() == "'":  # postfix invert
+            self.next()
+            node = ("not", node)
+        return node
+
+
+def _eval_node(node, inputs: Mapping[str, object]):
+    op = node[0]
+    if op == "var":
+        return inputs.get(node[1], LOGIC_X)
+    if op == "const":
+        return node[1]
+    if op == "not":
+        value = _eval_node(node[1], inputs)
+        return LOGIC_X if value == LOGIC_X else 1 - value
+    left = _eval_node(node[1], inputs)
+    right = _eval_node(node[2], inputs)
+    if op == "and":
+        if left == 0 or right == 0:
+            return 0
+        if LOGIC_X in (left, right):
+            return LOGIC_X
+        return 1
+    if op == "or":
+        if left == 1 or right == 1:
+            return 1
+        if LOGIC_X in (left, right):
+            return LOGIC_X
+        return 0
+    if op == "xor":
+        if LOGIC_X in (left, right):
+            return LOGIC_X
+        return left ^ right
+    raise LibertySyntaxError(f"unknown operator {op!r}")
+
+
+def _expr_variables(node, out=None) -> List[str]:
+    if out is None:
+        out = []
+    if node[0] == "var":
+        if node[1] not in out:
+            out.append(node[1])
+    elif node[0] == "not":
+        _expr_variables(node[1], out)
+    elif node[0] != "const":
+        _expr_variables(node[1], out)
+        _expr_variables(node[2], out)
+    return out
+
+
+def compile_function(text: str) -> Tuple[Callable, List[str]]:
+    """Compile a Liberty function string into (evaluator, input names)."""
+    node = _ExprParser(text).parse()
+    variables = _expr_variables(node)
+
+    def evaluate(inputs: Mapping[str, object]):
+        return _eval_node(node, inputs)
+
+    return evaluate, variables
+
+
+def _derive_unateness(evaluate: Callable, variables: Sequence[str],
+                      pin: str) -> Unateness:
+    """Exhaustively classify the function's sense with respect to ``pin``."""
+    others = [v for v in variables if v != pin]
+    saw_positive = saw_negative = False
+    for assignment in product((0, 1), repeat=len(others)):
+        inputs = dict(zip(others, assignment))
+        inputs[pin] = 0
+        low = evaluate(inputs)
+        inputs[pin] = 1
+        high = evaluate(inputs)
+        if low == 0 and high == 1:
+            saw_positive = True
+        elif low == 1 and high == 0:
+            saw_negative = True
+    if saw_positive and not saw_negative:
+        return Unateness.POSITIVE
+    if saw_negative and not saw_positive:
+        return Unateness.NEGATIVE
+    return Unateness.NON_UNATE
+
+
+# ---------------------------------------------------------------------------
+# cell construction
+# ---------------------------------------------------------------------------
+def _build_cell(group: LibertyGroup) -> CellType:
+    name = group.args[0] if group.args else group.get("cell_name", "CELL")
+    pins: List[PinSpec] = []
+    arcs: List[ArcSpec] = []
+    functions: Dict[str, Callable] = {}
+
+    ff_groups = group.groups("ff")
+    is_sequential = bool(ff_groups)
+    clock_pin: Optional[str] = None
+    active_edge = "r"
+    state_var = ""
+    next_state_vars: List[str] = []
+    if ff_groups:
+        ff = ff_groups[0]
+        state_var = ff.args[0] if ff.args else "IQ"
+        clocked_on = ff.get("clocked_on").strip()
+        if clocked_on.startswith("!") or clocked_on.endswith("'"):
+            active_edge = "f"
+        clock_pin = clocked_on.strip("!() '\"")
+        next_state = ff.get("next_state")
+        if next_state:
+            _fn, next_state_vars = compile_function(next_state)
+
+    output_pins: List[str] = []
+    input_pins: List[str] = []
+    seq_outputs: List[str] = []
+    for pin_group in group.groups("pin"):
+        pin_name = pin_group.args[0] if pin_group.args else "P"
+        direction = pin_group.get("direction", "input")
+        is_clock = pin_group.get("clock", "false").lower() == "true" \
+            or pin_name == clock_pin
+        if direction == "output":
+            pins.append(PinSpec(pin_name, PinDirection.OUTPUT))
+            output_pins.append(pin_name)
+            function_text = pin_group.get("function")
+            if function_text:
+                evaluate, variables = compile_function(function_text)
+                if is_sequential and state_var in variables:
+                    # Output of the state bit (e.g. function: "IQ").
+                    seq_outputs.append(pin_name)
+                    inverted = function_text.replace(" ", "") \
+                        in (f"!{state_var}", f"{state_var}'")
+                    arcs.append(ArcSpec(
+                        clock_pin, pin_name,
+                        Unateness.NEGATIVE if inverted
+                        else Unateness.POSITIVE,
+                        ArcKind.LAUNCH))
+                else:
+                    functions[pin_name] = evaluate
+                    for variable in variables:
+                        arcs.append(ArcSpec(
+                            variable, pin_name,
+                            _derive_unateness(evaluate, variables, variable),
+                            ArcKind.COMBINATIONAL))
+        else:
+            pins.append(PinSpec(pin_name, PinDirection.INPUT,
+                                is_clock=is_clock))
+            input_pins.append(pin_name)
+
+    data_pins = tuple(v for v in next_state_vars if v in input_pins)
+    if is_sequential and clock_pin:
+        for data_pin in data_pins:
+            arcs.append(ArcSpec(data_pin, clock_pin, Unateness.NON_UNATE,
+                                ArcKind.CHECK))
+
+    area = group.get("area")
+    try:
+        base_delay = 0.5 + 0.1 * float(area) if area else 1.0
+    except ValueError:
+        base_delay = 1.0
+
+    return CellType(
+        name=name,
+        pins=pins,
+        arcs=arcs,
+        functions=functions,
+        is_sequential=is_sequential,
+        clock_pin=clock_pin,
+        data_pins=data_pins,
+        output_pins_seq=tuple(seq_outputs),
+        active_edge=active_edge,
+        base_delay=base_delay,
+    )
+
+
+def read_liberty(text: str) -> CellLibrary:
+    """Parse Liberty ``text`` into a :class:`CellLibrary`."""
+    root = parse_liberty(text)
+    library_name = root.args[0] if root.args else "liberty"
+    library = CellLibrary(library_name)
+    for cell_group in root.groups("cell"):
+        library.add(_build_cell(cell_group))
+    return library

@@ -1,0 +1,274 @@
+"""Reader for a structural-Verilog subset.
+
+The supported subset is what gate-level netlists emitted by synthesis look
+like after flattening: one module, scalar ports and wires, and cell
+instantiations with named port connections::
+
+    module top (clk1, in1, out1);
+      input clk1, in1;
+      output out1;
+      wire n1, n2;
+      DFF rA (.D(in1), .CP(clk1), .Q(n1));
+      INV inv1 (.A(n1), .Z(n2));
+      ...
+    endmodule
+
+Unsupported constructs (behavioural code, vectors, parameters, `define)
+raise :class:`~repro.errors.VerilogSyntaxError` with the offending line so
+the user can see what to strip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import VerilogSyntaxError
+from repro.netlist.cells import CellLibrary, PinDirection
+from repro.netlist.netlist import Netlist
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<id>[A-Za-z_][\w$]*|\\[^\s]+)
+  | (?P<punct>[();,.])
+  | (?P<newline>\n)
+  | (?P<space>[ \t\r]+)
+  | (?P<other>.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _tokenize(text: str) -> Iterator[Tuple[str, str, int]]:
+    """Yield (kind, value, line) tokens, skipping comments/whitespace."""
+    line = 1
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("space", None):
+            continue
+        if kind == "comment":
+            line += value.count("\n")
+            continue
+        if kind == "other":
+            raise VerilogSyntaxError(f"unexpected character {value!r}", line)
+        if kind == "id" and value.startswith("\\"):
+            value = value[1:]  # escaped identifier
+        yield kind, value, line
+
+
+class _TokenStream:
+    def __init__(self, text: str):
+        self._tokens = list(_tokenize(text))
+        self._pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> Tuple[str, str, int]:
+        tok = self.peek()
+        if tok is None:
+            raise VerilogSyntaxError("unexpected end of file")
+        self._pos += 1
+        return tok
+
+    def expect(self, value: str) -> Tuple[str, str, int]:
+        tok = self.next()
+        if tok[1] != value:
+            raise VerilogSyntaxError(
+                f"expected {value!r}, found {tok[1]!r}", tok[2]
+            )
+        return tok
+
+    def expect_id(self) -> Tuple[str, int]:
+        tok = self.next()
+        if tok[0] != "id":
+            raise VerilogSyntaxError(f"expected identifier, found {tok[1]!r}", tok[2])
+        return tok[1], tok[2]
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+
+_DIRECTION_KEYWORDS = {"input": PinDirection.INPUT, "output": PinDirection.OUTPUT}
+_STRUCTURAL_KEYWORDS = {"module", "endmodule", "input", "output", "wire", "inout"}
+
+
+def read_verilog(text: str, library: Optional[CellLibrary] = None) -> Netlist:
+    """Parse ``text`` (one structural module) into a :class:`Netlist`."""
+    stream = _TokenStream(text)
+    stream.expect("module")
+    name, _ = stream.expect_id()
+    netlist = Netlist(name, library)
+
+    # Port list (names only; directions come from declarations).
+    header_ports: List[str] = []
+    tok = stream.next()
+    if tok[1] == "(":
+        while True:
+            tok = stream.next()
+            if tok[1] == ")":
+                break
+            if tok[0] == "id":
+                header_ports.append(tok[1])
+            elif tok[1] != ",":
+                raise VerilogSyntaxError(
+                    f"unexpected {tok[1]!r} in port list", tok[2]
+                )
+        stream.expect(";")
+    elif tok[1] != ";":
+        raise VerilogSyntaxError(f"expected port list or ';', found {tok[1]!r}", tok[2])
+
+    declared: Dict[str, PinDirection] = {}
+    wires: List[str] = []
+
+    while True:
+        tok = stream.peek()
+        if tok is None:
+            raise VerilogSyntaxError("missing endmodule")
+        value = tok[1]
+        if value == "endmodule":
+            stream.next()
+            break
+        if value in ("input", "output"):
+            stream.next()
+            direction = _DIRECTION_KEYWORDS[value]
+            for port_name in _read_name_list(stream):
+                declared[port_name] = direction
+        elif value == "inout":
+            raise VerilogSyntaxError("inout ports are not supported", tok[2])
+        elif value == "wire":
+            stream.next()
+            wires.extend(_read_name_list(stream))
+        else:
+            _read_instance(stream, netlist, declared)
+
+    # Materialize ports in header order, then any declared-only ports.
+    order = header_ports + [n for n in declared if n not in header_ports]
+    for port_name in order:
+        if port_name not in declared:
+            raise VerilogSyntaxError(
+                f"port {port_name!r} listed in header but never declared"
+            )
+        netlist.add_port(port_name, declared[port_name])
+
+    _stitch(netlist, declared, wires)
+    return netlist
+
+
+def _read_name_list(stream: _TokenStream) -> List[str]:
+    names: List[str] = []
+    while True:
+        name, _ = stream.expect_id()
+        names.append(name)
+        tok = stream.next()
+        if tok[1] == ";":
+            return names
+        if tok[1] != ",":
+            raise VerilogSyntaxError(f"expected ',' or ';', found {tok[1]!r}", tok[2])
+
+
+# Instances are collected as (cell, inst, [(pin, net)]) and stitched at the
+# end so net objects are shared regardless of declaration order.
+def _read_instance(stream: _TokenStream, netlist: Netlist,
+                   declared: Dict[str, PinDirection]) -> None:
+    cell_name, line = stream.expect_id()
+    if cell_name in _STRUCTURAL_KEYWORDS:
+        raise VerilogSyntaxError(f"unexpected keyword {cell_name!r}", line)
+    inst_name, _ = stream.expect_id()
+    inst = netlist.add_instance(inst_name, cell_name)
+    stream.expect("(")
+    connections: List[Tuple[str, Optional[str]]] = []
+    while True:
+        tok = stream.next()
+        if tok[1] == ")":
+            break
+        if tok[1] == ",":
+            continue
+        if tok[1] != ".":
+            raise VerilogSyntaxError(
+                "only named port connections (.PIN(net)) are supported", tok[2]
+            )
+        pin_name, _ = stream.expect_id()
+        stream.expect("(")
+        tok = stream.next()
+        if tok[1] == ")":
+            connections.append((pin_name, None))  # unconnected
+            continue
+        if tok[0] != "id":
+            raise VerilogSyntaxError(f"expected net name, found {tok[1]!r}", tok[2])
+        connections.append((pin_name, tok[1]))
+        stream.expect(")")
+    stream.expect(";")
+
+    for pin_name, net_name in connections:
+        if net_name is None:
+            continue
+        pin = inst.pin(pin_name)
+        net = netlist.get_or_create_net(net_name)
+        if pin.is_output:
+            net.connect_driver(pin)
+        else:
+            net.connect_load(pin)
+
+
+def _stitch(netlist: Netlist, declared: Dict[str, PinDirection],
+            wires: List[str]) -> None:
+    """Attach ports to the nets that carry their names."""
+    for port_name, direction in declared.items():
+        port = netlist.port(port_name)
+        try:
+            net = netlist.net(port_name)
+        except KeyError:
+            net = netlist.add_net(port_name)
+        if direction is PinDirection.INPUT:
+            net.connect_driver(port)
+        else:
+            net.connect_load(port)
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Emit ``netlist`` back as structural Verilog (round-trip capable).
+
+    Nets attached to a port are emitted under the port's name (the reader
+    stitches ports to same-named nets), regardless of their internal name.
+    """
+    lines: List[str] = []
+    port_names = [p.name for p in netlist.ports]
+    # Internal net name -> emitted name (ports force their own name).
+    rename: dict = {}
+    for port in netlist.ports:
+        if port.net is not None:
+            rename.setdefault(port.net.name, port.name)
+
+    def emitted(net) -> str:
+        return rename.get(net.name, net.name)
+
+    lines.append(f"module {netlist.name} ({', '.join(port_names)});")
+    inputs = [p.name for p in netlist.input_ports()]
+    outputs = [p.name for p in netlist.output_ports()]
+    if inputs:
+        lines.append(f"  input {', '.join(inputs)};")
+    if outputs:
+        lines.append(f"  output {', '.join(outputs)};")
+    taken = set(port_names)
+    wire_names = sorted({emitted(n) for n in netlist.nets} - taken)
+    if wire_names:
+        lines.append(f"  wire {', '.join(wire_names)};")
+    lines.append("")
+    for inst in netlist.instances:
+        conns = []
+        for pin in inst.pins.values():
+            if pin.net is not None:
+                conns.append(f".{pin.name}({emitted(pin.net)})")
+        lines.append(f"  {inst.cell.name} {inst.name} ({', '.join(conns)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,85 @@
+"""SDC constraint substrate: tokenizer, parser, object model, writer.
+
+Typical use::
+
+    from repro.sdc import parse_mode, write_mode
+
+    mode_a = parse_mode(open("modeA.sdc").read(), "A")
+    print(write_mode(mode_a))
+"""
+
+from repro.sdc.commands import (
+    ClockGroupKind,
+    Constraint,
+    CreateClock,
+    CreateGeneratedClock,
+    EXCEPTION_TYPES,
+    ObjectRef,
+    PathSpec,
+    RefKind,
+    SetCaseAnalysis,
+    SetClockGroups,
+    SetClockLatency,
+    SetClockSense,
+    SetClockTransition,
+    SetClockUncertainty,
+    SetDisableTiming,
+    SetDrive,
+    SetDrivingCell,
+    SetFalsePath,
+    SetInputDelay,
+    SetInputTransition,
+    SetLoad,
+    SetMaxDelay,
+    SetMinDelay,
+    SetMulticyclePath,
+    SetOutputDelay,
+    SetPropagatedClock,
+)
+from repro.sdc.mode import Mode, ModeSet
+from repro.sdc.object_query import ObjectResolver, Resolution
+from repro.sdc.parser import ParseResult, parse_mode, parse_sdc
+from repro.sdc.tokenizer import Command, Token, TokenKind, tokenize
+from repro.sdc.writer import write_constraint, write_mode
+
+__all__ = [
+    "ClockGroupKind",
+    "Command",
+    "Constraint",
+    "CreateClock",
+    "CreateGeneratedClock",
+    "EXCEPTION_TYPES",
+    "Mode",
+    "ModeSet",
+    "ObjectRef",
+    "ObjectResolver",
+    "ParseResult",
+    "PathSpec",
+    "RefKind",
+    "Resolution",
+    "SetCaseAnalysis",
+    "SetClockGroups",
+    "SetClockLatency",
+    "SetClockSense",
+    "SetClockTransition",
+    "SetClockUncertainty",
+    "SetDisableTiming",
+    "SetDrive",
+    "SetDrivingCell",
+    "SetFalsePath",
+    "SetInputDelay",
+    "SetInputTransition",
+    "SetLoad",
+    "SetMaxDelay",
+    "SetMinDelay",
+    "SetMulticyclePath",
+    "SetOutputDelay",
+    "SetPropagatedClock",
+    "Token",
+    "TokenKind",
+    "parse_mode",
+    "parse_sdc",
+    "tokenize",
+    "write_constraint",
+    "write_mode",
+]

@@ -1,0 +1,172 @@
+"""The :class:`Mode` container: a named, ordered set of SDC constraints.
+
+A *mode* in the paper's sense (functional, scan shift, test, ...) is simply
+the constraint set that configures the design for one analysis.  The class
+keeps insertion order (SDC is order-sensitive for ``-add`` semantics) and
+offers typed accessors the merging steps use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Type, TypeVar
+
+from repro.sdc.commands import (
+    Constraint,
+    CreateClock,
+    CreateGeneratedClock,
+    EXCEPTION_TYPES,
+    SetCaseAnalysis,
+    SetClockGroups,
+    SetClockSense,
+    SetDisableTiming,
+    SetFalsePath,
+    SetInputDelay,
+    SetMaxDelay,
+    SetMinDelay,
+    SetMulticyclePath,
+    SetOutputDelay,
+)
+
+C = TypeVar("C", bound=Constraint)
+
+
+class Mode:
+    """A named set of timing constraints."""
+
+    def __init__(self, name: str, constraints: Optional[Iterable[Constraint]] = None):
+        self.name = name
+        self._constraints: List[Constraint] = list(constraints or ())
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, constraint: Constraint) -> Constraint:
+        self._constraints.append(constraint)
+        return constraint
+
+    def extend(self, constraints: Iterable[Constraint]) -> None:
+        self._constraints.extend(constraints)
+
+    def remove(self, constraint: Constraint) -> None:
+        self._constraints.remove(constraint)
+
+    def replace(self, old: Constraint, new: Constraint) -> None:
+        idx = self._constraints.index(old)
+        self._constraints[idx] = new
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def constraints(self) -> List[Constraint]:
+        return list(self._constraints)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def of_type(self, *types: Type[C]) -> List[C]:
+        return [c for c in self._constraints if isinstance(c, types)]
+
+    # Typed sugar used throughout the merging code.
+    def clocks(self) -> List[CreateClock]:
+        return self.of_type(CreateClock)
+
+    def generated_clocks(self) -> List[CreateGeneratedClock]:
+        return self.of_type(CreateGeneratedClock)
+
+    def clock_names(self) -> List[str]:
+        names = [c.name for c in self.clocks()]
+        names.extend(c.name for c in self.generated_clocks())
+        return names
+
+    def clock_by_name(self, name: str) -> Optional[CreateClock]:
+        for clock in self.clocks():
+            if clock.name == name:
+                return clock
+        return None
+
+    def case_analyses(self) -> List[SetCaseAnalysis]:
+        return self.of_type(SetCaseAnalysis)
+
+    def disable_timings(self) -> List[SetDisableTiming]:
+        return self.of_type(SetDisableTiming)
+
+    def clock_groups(self) -> List[SetClockGroups]:
+        return self.of_type(SetClockGroups)
+
+    def clock_senses(self) -> List[SetClockSense]:
+        return self.of_type(SetClockSense)
+
+    def input_delays(self) -> List[SetInputDelay]:
+        return self.of_type(SetInputDelay)
+
+    def output_delays(self) -> List[SetOutputDelay]:
+        return self.of_type(SetOutputDelay)
+
+    def false_paths(self) -> List[SetFalsePath]:
+        return self.of_type(SetFalsePath)
+
+    def multicycle_paths(self) -> List[SetMulticyclePath]:
+        return self.of_type(SetMulticyclePath)
+
+    def max_delays(self) -> List[SetMaxDelay]:
+        return self.of_type(SetMaxDelay)
+
+    def min_delays(self) -> List[SetMinDelay]:
+        return self.of_type(SetMinDelay)
+
+    def exceptions(self) -> List[Constraint]:
+        return self.of_type(*EXCEPTION_TYPES)
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def histogram(self) -> Dict[str, int]:
+        """Count of constraints per command name."""
+        counts: Dict[str, int] = {}
+        for constraint in self._constraints:
+            counts[constraint.command] = counts.get(constraint.command, 0) + 1
+        return counts
+
+    def copy(self, name: Optional[str] = None) -> "Mode":
+        return Mode(name or self.name, self._constraints)
+
+    def __repr__(self) -> str:
+        return f"Mode({self.name!r}, {len(self._constraints)} constraints)"
+
+
+class ModeSet:
+    """An ordered collection of modes, as loaded for one design."""
+
+    def __init__(self, modes: Optional[Iterable[Mode]] = None):
+        self._modes: Dict[str, Mode] = {}
+        for mode in modes or ():
+            self.add(mode)
+
+    def add(self, mode: Mode) -> Mode:
+        if mode.name in self._modes:
+            raise ValueError(f"duplicate mode name {mode.name!r}")
+        self._modes[mode.name] = mode
+        return mode
+
+    def get(self, name: str) -> Mode:
+        return self._modes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._modes
+
+    def __iter__(self) -> Iterator[Mode]:
+        return iter(self._modes.values())
+
+    def __len__(self) -> int:
+        return len(self._modes)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._modes)
+
+    def __repr__(self) -> str:
+        return f"ModeSet({self.names})"

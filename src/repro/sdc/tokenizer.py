@@ -1,0 +1,188 @@
+"""Tokenizer for the Tcl-flavoured SDC syntax.
+
+SDC files are Tcl scripts, but constraint files in practice use a small,
+regular subset: one command per line (``;`` also separates commands),
+``-option`` flags, numbers, names, ``[bracketed]`` object queries,
+``{brace}`` lists, ``"quoted"`` strings, ``\\`` line continuations and
+``#`` comments.  This tokenizer covers exactly that subset and reports
+precise line numbers on errors.
+
+The output is a list of :class:`Command` objects, each a flat list of
+:class:`Token`.  Bracketed expressions become a single ``BRACKET`` token
+whose ``subtokens`` hold the nested command (e.g. ``get_ports clk*``),
+because SDC object queries never nest more than trivially and the parser
+wants them as one argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.errors import SdcSyntaxError
+
+
+class TokenKind(Enum):
+    WORD = "word"        # command names, option flags, object names, numbers
+    BRACKET = "bracket"  # [ ... ] — nested query
+    BRACE = "brace"      # { ... } — literal list (already split into words)
+    STRING = "string"    # " ... "
+
+
+@dataclass
+class Token:
+    kind: TokenKind
+    value: str
+    line: int
+    # For BRACKET: the tokens inside the brackets.
+    subtokens: List["Token"] = field(default_factory=list)
+    # For BRACE: the whitespace-separated items.
+    items: List[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        if self.kind is TokenKind.BRACKET:
+            return f"[{' '.join(t.value for t in self.subtokens)}]"
+        return self.value
+
+
+@dataclass
+class Command:
+    """One SDC command: name plus argument tokens."""
+
+    name: str
+    tokens: List[Token]
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Command({self.name}, {self.tokens})"
+
+
+def tokenize(text: str) -> List[Command]:
+    """Split SDC ``text`` into commands."""
+    commands: List[Command] = []
+    for line_no, logical in _logical_lines(text):
+        tokens = _tokenize_line(logical, line_no)
+        for cmd_tokens in _split_on_semicolons(tokens):
+            if not cmd_tokens:
+                continue
+            head = cmd_tokens[0]
+            if head.kind is not TokenKind.WORD:
+                raise SdcSyntaxError(
+                    f"command must start with a word, found {head!r}", head.line
+                )
+            commands.append(Command(head.value, cmd_tokens[1:], head.line))
+    return commands
+
+
+def _logical_lines(text: str):
+    """Merge ``\\``-continued lines; yield (first_line_number, text)."""
+    physical = text.split("\n")
+    i = 0
+    while i < len(physical):
+        start = i
+        line = physical[i]
+        while line.rstrip().endswith("\\") and i + 1 < len(physical):
+            line = line.rstrip()[:-1] + " " + physical[i + 1]
+            i += 1
+        yield start + 1, line
+        i += 1
+
+
+def _split_on_semicolons(tokens: List[Token]) -> List[List[Token]]:
+    groups: List[List[Token]] = [[]]
+    for tok in tokens:
+        if tok.kind is TokenKind.WORD and tok.value == ";":
+            groups.append([])
+        else:
+            groups[-1].append(tok)
+    return groups
+
+
+def _tokenize_line(line: str, line_no: int) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#":
+            break  # comment to end of line
+        if ch == ";":
+            tokens.append(Token(TokenKind.WORD, ";", line_no))
+            i += 1
+            continue
+        if ch == "[":
+            sub, i = _read_bracket(line, i, line_no)
+            tokens.append(sub)
+            continue
+        if ch == "{":
+            tok, i = _read_brace(line, i, line_no)
+            tokens.append(tok)
+            continue
+        if ch == '"':
+            tok, i = _read_string(line, i, line_no)
+            tokens.append(tok)
+            continue
+        if ch == "]" or ch == "}":
+            raise SdcSyntaxError(f"unbalanced {ch!r}", line_no)
+        # Plain word.
+        j = i
+        while j < n and line[j] not in ' \t\r;[]{}"#':
+            j += 1
+        tokens.append(Token(TokenKind.WORD, line[i:j], line_no))
+        i = j
+    return tokens
+
+
+def _read_bracket(line: str, start: int, line_no: int):
+    """Read a balanced ``[...]`` starting at ``start``; tokenize the inside."""
+    depth = 0
+    i = start
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth == 0:
+                inner = line[start + 1:i]
+                subtokens = _tokenize_line(inner, line_no)
+                value = "[" + inner.strip() + "]"
+                return Token(TokenKind.BRACKET, value, line_no, subtokens=subtokens), i + 1
+        i += 1
+    raise SdcSyntaxError("unterminated '['", line_no)
+
+
+def _read_brace(line: str, start: int, line_no: int):
+    depth = 0
+    i = start
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                inner = line[start + 1:i]
+                items = inner.split()
+                return Token(TokenKind.BRACE, inner.strip(), line_no, items=items), i + 1
+        i += 1
+    raise SdcSyntaxError("unterminated '{'", line_no)
+
+
+def _read_string(line: str, start: int, line_no: int):
+    i = start + 1
+    n = len(line)
+    chars: List[str] = []
+    while i < n:
+        ch = line[i]
+        if ch == '"':
+            return Token(TokenKind.STRING, "".join(chars), line_no), i + 1
+        chars.append(ch)
+        i += 1
+    raise SdcSyntaxError("unterminated string", line_no)

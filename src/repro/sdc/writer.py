@@ -1,0 +1,280 @@
+"""Emission of modes back to SDC text.
+
+The writer produces canonical, re-parseable SDC.  ``write_mode(parse(text))``
+round-trips to an equivalent mode (property-tested), which matters because
+the merged mode the library produces is itself a Mode that users save to
+disk and feed to their sign-off tool.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sdc.commands import (
+    ClockGroupKind,
+    Constraint,
+    CreateClock,
+    CreateGeneratedClock,
+    ObjectRef,
+    PathSpec,
+    RefKind,
+    SetCaseAnalysis,
+    SetClockGroups,
+    SetClockLatency,
+    SetClockSense,
+    SetClockTransition,
+    SetClockUncertainty,
+    SetDisableTiming,
+    SetDrive,
+    SetDrivingCell,
+    SetFalsePath,
+    SetInputDelay,
+    SetInputTransition,
+    SetLoad,
+    SetMaxDelay,
+    SetMinDelay,
+    SetMulticyclePath,
+    SetOutputDelay,
+    SetPropagatedClock,
+)
+from repro.sdc.mode import Mode
+
+
+def _num(value: float) -> str:
+    """Format a number the way SDC files conventionally do."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+def _ref(ref: ObjectRef) -> str:
+    inner = " ".join(ref.patterns)
+    if ref.kind is RefKind.AUTO:
+        if len(ref.patterns) == 1 and not inner.startswith("<"):
+            return inner
+        return f"{{{inner}}}"
+    plural = {
+        RefKind.PORT: "get_ports",
+        RefKind.PIN: "get_pins",
+        RefKind.CELL: "get_cells",
+        RefKind.NET: "get_nets",
+        RefKind.CLOCK: "get_clocks",
+    }[ref.kind]
+    if len(ref.patterns) == 1:
+        return f"[{plural} {inner}]"
+    return f"[{plural} {{{inner}}}]"
+
+
+def _path_opts(spec: PathSpec) -> str:
+    parts: List[str] = []
+    for ref in spec.from_refs:
+        opt = "-rise_from" if spec.rise_from else (
+            "-fall_from" if spec.fall_from else "-from")
+        parts.append(f"{opt} {_ref(ref)}")
+    for ref in spec.through_refs:
+        parts.append(f"-through {_ref(ref)}")
+    for ref in spec.to_refs:
+        opt = "-rise_to" if spec.rise_to else (
+            "-fall_to" if spec.fall_to else "-to")
+        parts.append(f"{opt} {_ref(ref)}")
+    return " ".join(parts)
+
+
+def _minmax(c) -> str:
+    parts = []
+    if getattr(c, "min_flag", False):
+        parts.append("-min")
+    if getattr(c, "max_flag", False):
+        parts.append("-max")
+    if getattr(c, "rise", False):
+        parts.append("-rise")
+    if getattr(c, "fall", False):
+        parts.append("-fall")
+    return (" " + " ".join(parts)) if parts else ""
+
+
+def write_constraint(c: Constraint) -> str:
+    """Render one constraint as an SDC command line."""
+    if isinstance(c, CreateClock):
+        parts = [f"create_clock -name {c.name} -period {_num(c.period)}"]
+        if c.waveform:
+            wf = " ".join(_num(w) for w in c.waveform)
+            parts.append(f"-waveform {{{wf}}}")
+        if c.add:
+            parts.append("-add")
+        if c.sources and c.sources.patterns:
+            parts.append(_ref(c.sources))
+        return " ".join(parts)
+
+    if isinstance(c, CreateGeneratedClock):
+        parts = [f"create_generated_clock -name {c.name}",
+                 f"-source {_ref(c.source)}"]
+        if c.master_clock:
+            parts.append(f"-master_clock {c.master_clock}")
+        if c.divide_by != 1:
+            parts.append(f"-divide_by {c.divide_by}")
+        if c.multiply_by != 1:
+            parts.append(f"-multiply_by {c.multiply_by}")
+        if c.invert:
+            parts.append("-invert")
+        if c.add:
+            parts.append("-add")
+        if c.sources and c.sources.patterns:
+            parts.append(_ref(c.sources))
+        return " ".join(parts)
+
+    if isinstance(c, SetClockGroups):
+        flag = {
+            ClockGroupKind.PHYSICALLY_EXCLUSIVE: "-physically_exclusive",
+            ClockGroupKind.LOGICALLY_EXCLUSIVE: "-logically_exclusive",
+            ClockGroupKind.ASYNCHRONOUS: "-asynchronous",
+        }[c.kind]
+        parts = [f"set_clock_groups {flag}"]
+        if c.name:
+            parts.append(f"-name {c.name}")
+        for group in c.groups:
+            parts.append(f"-group [get_clocks {{{' '.join(group)}}}]")
+        return " ".join(parts)
+
+    if isinstance(c, SetClockLatency):
+        parts = ["set_clock_latency"]
+        if c.source:
+            parts.append("-source")
+        if c.min_flag:
+            parts.append("-min")
+        if c.max_flag:
+            parts.append("-max")
+        if c.early:
+            parts.append("-early")
+        if c.late:
+            parts.append("-late")
+        parts.append(_num(c.value))
+        parts.append(_ref(c.objects))
+        return " ".join(parts)
+
+    if isinstance(c, SetClockUncertainty):
+        parts = ["set_clock_uncertainty"]
+        if c.setup:
+            parts.append("-setup")
+        if c.hold:
+            parts.append("-hold")
+        parts.append(_num(c.value))
+        if c.from_clock:
+            parts.append(f"-from [get_clocks {c.from_clock}]")
+        if c.to_clock:
+            parts.append(f"-to [get_clocks {c.to_clock}]")
+        if c.objects:
+            parts.append(_ref(c.objects))
+        return " ".join(parts)
+
+    if isinstance(c, SetClockTransition):
+        return (f"set_clock_transition{_minmax(c)} {_num(c.value)} "
+                f"{_ref(c.objects)}")
+
+    if isinstance(c, SetPropagatedClock):
+        return f"set_propagated_clock {_ref(c.objects)}"
+
+    if isinstance(c, SetClockSense):
+        parts = ["set_clock_sense"]
+        if c.stop_propagation:
+            parts.append("-stop_propagation")
+        if c.positive:
+            parts.append("-positive")
+        if c.negative:
+            parts.append("-negative")
+        if c.clocks:
+            parts.append(f"-clocks {_ref(c.clocks)}")
+        parts.append(_ref(c.pins))
+        return " ".join(parts)
+
+    if isinstance(c, (SetInputDelay, SetOutputDelay)):
+        name = c.command
+        parts = [name, _num(c.value)]
+        if c.clock:
+            parts.append(f"-clock [get_clocks {c.clock}]")
+        if c.clock_fall:
+            parts.append("-clock_fall")
+        if c.add_delay:
+            parts.append("-add_delay")
+        if c.min_flag:
+            parts.append("-min")
+        if c.max_flag:
+            parts.append("-max")
+        if c.rise:
+            parts.append("-rise")
+        if c.fall:
+            parts.append("-fall")
+        parts.append(_ref(c.objects))
+        return " ".join(parts)
+
+    if isinstance(c, SetCaseAnalysis):
+        return f"set_case_analysis {c.value} {_ref(c.objects)}"
+
+    if isinstance(c, SetDisableTiming):
+        parts = ["set_disable_timing"]
+        if c.from_pin:
+            parts.append(f"-from {c.from_pin}")
+        if c.to_pin:
+            parts.append(f"-to {c.to_pin}")
+        parts.append(_ref(c.objects))
+        return " ".join(parts)
+
+    if isinstance(c, SetFalsePath):
+        parts = ["set_false_path"]
+        if c.setup:
+            parts.append("-setup")
+        if c.hold:
+            parts.append("-hold")
+        parts.append(_path_opts(c.spec))
+        return " ".join(p for p in parts if p)
+
+    if isinstance(c, SetMulticyclePath):
+        parts = ["set_multicycle_path", str(c.multiplier)]
+        if c.setup:
+            parts.append("-setup")
+        if c.hold:
+            parts.append("-hold")
+        if c.start:
+            parts.append("-start")
+        if c.end:
+            parts.append("-end")
+        parts.append(_path_opts(c.spec))
+        return " ".join(p for p in parts if p)
+
+    if isinstance(c, SetMaxDelay):
+        return f"set_max_delay {_num(c.value)} {_path_opts(c.spec)}".rstrip()
+
+    if isinstance(c, SetMinDelay):
+        return f"set_min_delay {_num(c.value)} {_path_opts(c.spec)}".rstrip()
+
+    if isinstance(c, SetInputTransition):
+        return (f"set_input_transition{_minmax(c)} {_num(c.value)} "
+                f"{_ref(c.objects)}")
+
+    if isinstance(c, SetDrive):
+        return f"set_drive{_minmax(c)} {_num(c.value)} {_ref(c.objects)}"
+
+    if isinstance(c, SetDrivingCell):
+        parts = ["set_driving_cell"]
+        if c.lib_cell:
+            parts.append(f"-lib_cell {c.lib_cell}")
+        if c.pin:
+            parts.append(f"-pin {c.pin}")
+        parts.append(_ref(c.objects))
+        return " ".join(parts)
+
+    if isinstance(c, SetLoad):
+        return f"set_load{_minmax(c)} {_num(c.value)} {_ref(c.objects)}"
+
+    raise TypeError(f"cannot write constraint of type {type(c).__name__}")
+
+
+def write_mode(mode: Mode, header: bool = True) -> str:
+    """Render a whole mode as SDC text."""
+    lines: List[str] = []
+    if header:
+        lines.append(f"# SDC for mode {mode.name}")
+        lines.append("# generated by repro.sdc.writer")
+    for constraint in mode:
+        lines.append(write_constraint(constraint))
+    return "\n".join(lines) + "\n"

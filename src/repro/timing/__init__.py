@@ -1,0 +1,122 @@
+"""Timing substrate: graph, constants, clocks, relationships, STA.
+
+Typical use::
+
+    from repro.timing import BoundMode, run_sta, RelationshipExtractor
+
+    bound = BoundMode(netlist, mode)
+    rels = RelationshipExtractor(bound).endpoint_relationships()
+    sta = run_sta(bound)
+"""
+
+from repro.timing.clocks import ClockPropagation, propagate_launch_clocks
+from repro.timing.constants import ConstantAnalysis
+from repro.timing.context import (
+    BoundException,
+    BoundMode,
+    Clock,
+    ExternalDelay,
+)
+from repro.timing.corners import (
+    Corner,
+    DeratedDelayModel,
+    ScenarioMatrix,
+    ScenarioResult,
+    TYPICAL_CORNERS,
+    run_scenarios,
+    scenario_reduction,
+)
+from repro.timing.delay import (
+    DEFAULT_DELAY_MODEL,
+    DelayModel,
+    UnitDelayModel,
+    WireLoadDelayModel,
+)
+from repro.timing.graph import (
+    ARC_CELL,
+    ARC_LAUNCH,
+    ARC_NET,
+    Arc,
+    TimingGraph,
+    build_graph,
+)
+from repro.timing.paths import (
+    TimingPath,
+    endpoint_states_by_enumeration,
+    enumerate_paths,
+    path_state,
+)
+from repro.timing.relationships import (
+    RelationshipExtractor,
+    named_endpoint_rows,
+    named_pair_rows,
+)
+from repro.timing.report import (
+    format_comparison_table,
+    format_path_report,
+    format_relationship_table,
+    format_slack_report,
+    format_table,
+)
+from repro.timing.sta import (
+    DEFAULT_HOLD_TIME,
+    DEFAULT_SETUP_TIME,
+    EndpointSlack,
+    StaEngine,
+    StaResult,
+    hold_relation,
+    run_sta,
+    setup_relation,
+)
+from repro.timing.states import FALSE, VALID, RelState, resolve_state
+
+__all__ = [
+    "ARC_CELL",
+    "ARC_LAUNCH",
+    "ARC_NET",
+    "Arc",
+    "BoundException",
+    "BoundMode",
+    "Clock",
+    "ClockPropagation",
+    "ConstantAnalysis",
+    "Corner",
+    "DeratedDelayModel",
+    "DEFAULT_DELAY_MODEL",
+    "DelayModel",
+    "DEFAULT_HOLD_TIME",
+    "DEFAULT_SETUP_TIME",
+    "EndpointSlack",
+    "ExternalDelay",
+    "FALSE",
+    "RelState",
+    "RelationshipExtractor",
+    "StaEngine",
+    "ScenarioMatrix",
+    "ScenarioResult",
+    "StaResult",
+    "TYPICAL_CORNERS",
+    "TimingGraph",
+    "TimingPath",
+    "UnitDelayModel",
+    "VALID",
+    "WireLoadDelayModel",
+    "build_graph",
+    "endpoint_states_by_enumeration",
+    "enumerate_paths",
+    "format_comparison_table",
+    "format_path_report",
+    "format_relationship_table",
+    "format_slack_report",
+    "format_table",
+    "hold_relation",
+    "named_endpoint_rows",
+    "named_pair_rows",
+    "path_state",
+    "propagate_launch_clocks",
+    "resolve_state",
+    "run_scenarios",
+    "run_sta",
+    "scenario_reduction",
+    "setup_relation",
+]

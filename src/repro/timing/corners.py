@@ -1,0 +1,139 @@
+"""Process corners and scenarios.
+
+The paper's motivation is the scenario explosion: sign-off must cover
+``#modes x #corners`` analyses.  Mode merging attacks the first factor;
+this module supplies the second so the full scenario arithmetic can be
+reproduced: a :class:`Corner` scales the delay model (the classic
+derate-style PVT approximation), a :class:`Scenario` is a (mode, corner)
+pair, and :func:`run_scenarios` runs STA over a full scenario matrix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netlist.netlist import Netlist
+from repro.sdc.mode import Mode
+from repro.timing.context import BoundMode
+from repro.timing.delay import DelayModel, resolve_model
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import StaResult, run_sta
+
+
+@dataclass(frozen=True)
+class Corner:
+    """A PVT corner approximated as a delay derate.
+
+    ``derate`` scales every arc delay (>1 = slow corner, <1 = fast);
+    ``setup_margin``/``hold_margin`` add per-corner pessimism to the
+    endpoint checks.
+    """
+
+    name: str
+    derate: float = 1.0
+    setup_margin: float = 0.0
+    hold_margin: float = 0.0
+
+
+#: A conventional three-corner set.
+TYPICAL_CORNERS = (
+    Corner("fast", derate=0.8, hold_margin=0.02),
+    Corner("typ", derate=1.0),
+    Corner("slow", derate=1.25, setup_margin=0.05),
+)
+
+
+class DeratedDelayModel(DelayModel):
+    """Wrap any delay model with a corner's derate factor."""
+
+    def __init__(self, base: Optional[DelayModel], corner: Corner):
+        self.base = resolve_model(base)
+        self.corner = corner
+
+    def arc_delay(self, graph: TimingGraph, arc) -> float:
+        return self.base.arc_delay(graph, arc) * self.corner.derate
+
+
+@dataclass
+class ScenarioResult:
+    """STA outcome of one (mode, corner) scenario."""
+
+    mode_name: str
+    corner: Corner
+    sta: StaResult
+
+    @property
+    def name(self) -> str:
+        return f"{self.mode_name}@{self.corner.name}"
+
+
+@dataclass
+class ScenarioMatrix:
+    """All scenarios of one run, with the paper's scenario arithmetic."""
+
+    results: List[ScenarioResult] = field(default_factory=list)
+    total_runtime_seconds: float = 0.0
+
+    @property
+    def scenario_count(self) -> int:
+        return len(self.results)
+
+    def worst_endpoint_slacks(self) -> Dict[str, float]:
+        worst: Dict[str, float] = {}
+        for scenario in self.results:
+            for endpoint, row in scenario.sta.endpoint_slacks.items():
+                old = worst.get(endpoint)
+                if old is None or row.slack < old:
+                    worst[endpoint] = row.slack
+        return worst
+
+    def worst_scenario(self) -> Optional[ScenarioResult]:
+        candidates = [s for s in self.results if s.sta.endpoint_slacks]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: s.sta.worst_slack)
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.scenario_count} scenarios, total STA "
+            f"{self.total_runtime_seconds:.2f}s",
+        ]
+        for scenario in self.results:
+            lines.append(
+                f"  {scenario.name:<24} worst slack "
+                f"{scenario.sta.worst_slack:9.3f}  "
+                f"({len(scenario.sta.endpoint_slacks)} endpoints, "
+                f"{scenario.sta.runtime_seconds * 1000:6.1f} ms)")
+        return "\n".join(lines)
+
+
+def run_scenarios(netlist: Netlist, modes: Sequence[Mode],
+                  corners: Sequence[Corner] = TYPICAL_CORNERS,
+                  delay_model: Optional[DelayModel] = None,
+                  analyze_hold: bool = False) -> ScenarioMatrix:
+    """Run STA over the full (mode x corner) matrix."""
+    matrix = ScenarioMatrix()
+    start = time.perf_counter()
+    for mode in modes:
+        bound = BoundMode(netlist, mode)
+        for corner in corners:
+            model = DeratedDelayModel(delay_model, corner)
+            sta = run_sta(bound, model,
+                          setup_time=0.15 + corner.setup_margin,
+                          hold_time=0.05 + corner.hold_margin,
+                          analyze_hold=analyze_hold)
+            matrix.results.append(ScenarioResult(mode.name, corner, sta))
+    matrix.total_runtime_seconds = time.perf_counter() - start
+    return matrix
+
+
+def scenario_reduction(individual_modes: int, merged_modes: int,
+                       corners: int) -> Tuple[int, int, float]:
+    """The paper's scenario arithmetic: (before, after, % reduction)."""
+    before = individual_modes * corners
+    after = merged_modes * corners
+    if before == 0:
+        return 0, 0, 0.0
+    return before, after, 100.0 * (before - after) / before

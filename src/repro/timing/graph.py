@@ -1,0 +1,247 @@
+"""Timing graph construction.
+
+The timing graph is the central data structure of the paper: nodes are
+design pins/ports, arcs are either *net arcs* (driver pin -> load pin) or
+*cell arcs* (input pin -> output pin of one instance).  Sequential cells
+contribute *launch arcs* (CP -> Q) that join the clock network to the data
+network, and *check arcs* (D vs CP) that define timing endpoints.
+
+Nodes are integer indices into flat arrays for speed; names are kept in a
+parallel list.  The graph is built once per netlist and shared by every
+mode's analysis (constants, clock propagation, relationships, STA all take
+the graph plus per-mode state).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CombinationalLoopError
+from repro.netlist.cells import ArcKind, Unateness
+from repro.netlist.netlist import Instance, Netlist, Pin, Port
+
+# Arc kinds in the graph.
+ARC_NET = 0
+ARC_CELL = 1
+ARC_LAUNCH = 2   # CP -> Q of a sequential cell
+
+# Arc senses (parity tracking for clock polarity).
+SENSE_POS = 0
+SENSE_NEG = 1
+SENSE_NON_UNATE = 2
+
+_SENSE_OF = {
+    Unateness.POSITIVE: SENSE_POS,
+    Unateness.NEGATIVE: SENSE_NEG,
+    Unateness.NON_UNATE: SENSE_NON_UNATE,
+}
+
+
+class Arc:
+    """One timing arc (immutable after construction)."""
+
+    __slots__ = ("index", "src", "dst", "kind", "sense", "instance")
+
+    def __init__(self, index: int, src: int, dst: int, kind: int, sense: int,
+                 instance: Optional[Instance]):
+        self.index = index
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.sense = sense
+        self.instance = instance  # owning instance for cell/launch arcs
+
+
+class TimingGraph:
+    """Timing graph over a netlist.
+
+    Attributes of note:
+
+    * ``node_names`` — index -> full name (``inst/PIN`` or port name).
+    * ``fanout[n]`` / ``fanin[n]`` — lists of :class:`Arc`.
+    * ``clock_roots`` — port/pin nodes where clocks can be defined.
+    * ``seq_clock_nodes`` — clock input pins of sequential cells.
+    * ``seq_data_nodes`` — data input pins of sequential cells (endpoints).
+    * ``topo_order`` — topological order over all propagation arcs.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.node_names: List[str] = []
+        self.node_index: Dict[str, int] = {}
+        # Per-node object (Pin or Port).
+        self.node_obj: List[object] = []
+        self.arcs: List[Arc] = []
+        self.fanout: List[List[Arc]] = []
+        self.fanin: List[List[Arc]] = []
+        self.seq_clock_nodes: Set[int] = set()
+        self.seq_data_nodes: Set[int] = set()
+        self.seq_output_nodes: Set[int] = set()
+        self.input_port_nodes: Set[int] = set()
+        self.output_port_nodes: Set[int] = set()
+        # instance name -> (clock node, [data nodes], [output nodes])
+        self.seq_info: Dict[str, Tuple[int, List[int], List[int]]] = {}
+        self._build()
+        self.topo_order: List[int] = self._topo_sort()
+        self.topo_rank: List[int] = [0] * len(self.node_names)
+        for rank, node in enumerate(self.topo_order):
+            self.topo_rank[node] = rank
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _add_node(self, name: str, obj: object) -> int:
+        idx = len(self.node_names)
+        self.node_index[name] = idx
+        self.node_names.append(name)
+        self.node_obj.append(obj)
+        self.fanout.append([])
+        self.fanin.append([])
+        return idx
+
+    def _add_arc(self, src: int, dst: int, kind: int, sense: int,
+                 instance: Optional[Instance] = None) -> Arc:
+        arc = Arc(len(self.arcs), src, dst, kind, sense, instance)
+        self.arcs.append(arc)
+        self.fanout[src].append(arc)
+        self.fanin[dst].append(arc)
+        return arc
+
+    def _build(self) -> None:
+        netlist = self.netlist
+        for port in netlist.ports:
+            idx = self._add_node(port.name, port)
+            if port.is_input:
+                self.input_port_nodes.add(idx)
+            else:
+                self.output_port_nodes.add(idx)
+        for inst in netlist.instances:
+            for pin in inst.pins.values():
+                self._add_node(pin.full_name, pin)
+
+        # Net arcs.
+        for net in netlist.nets:
+            if net.driver is None:
+                continue
+            src = self.node_index[net.driver.full_name]
+            for load in net.loads:
+                dst = self.node_index[load.full_name]
+                self._add_arc(src, dst, ARC_NET, SENSE_POS)
+
+        # Cell arcs.
+        for inst in netlist.instances:
+            cell = inst.cell
+            for spec in cell.arcs:
+                if spec.kind is ArcKind.CHECK:
+                    continue
+                if not cell.has_pin(spec.from_pin) or not cell.has_pin(spec.to_pin):
+                    continue
+                src = self.node_index[f"{inst.name}/{spec.from_pin}"]
+                dst = self.node_index[f"{inst.name}/{spec.to_pin}"]
+                kind = ARC_LAUNCH if spec.kind is ArcKind.LAUNCH else ARC_CELL
+                self._add_arc(src, dst, kind, _SENSE_OF[spec.unateness], inst)
+            if cell.is_sequential:
+                clock_node = self.node_index[f"{inst.name}/{cell.clock_pin}"]
+                data_nodes = [self.node_index[f"{inst.name}/{p}"]
+                              for p in cell.data_pins if cell.has_pin(p)]
+                out_nodes = [self.node_index[f"{inst.name}/{p}"]
+                             for p in cell.output_pins_seq if cell.has_pin(p)]
+                self.seq_clock_nodes.add(clock_node)
+                self.seq_data_nodes.update(data_nodes)
+                self.seq_output_nodes.update(out_nodes)
+                self.seq_info[inst.name] = (clock_node, data_nodes, out_nodes)
+
+    # ------------------------------------------------------------------
+    # ordering
+    # ------------------------------------------------------------------
+    def _topo_sort(self) -> List[int]:
+        n = len(self.node_names)
+        indegree = [0] * n
+        for arc in self.arcs:
+            indegree[arc.dst] += 1
+        queue = [i for i in range(n) if indegree[i] == 0]
+        order: List[int] = []
+        head = 0
+        while head < len(queue):
+            node = queue[head]
+            head += 1
+            order.append(node)
+            for arc in self.fanout[node]:
+                indegree[arc.dst] -= 1
+                if indegree[arc.dst] == 0:
+                    queue.append(arc.dst)
+        if len(order) != n:
+            stuck = [self.node_names[i] for i in range(n) if indegree[i] > 0]
+            raise CombinationalLoopError(stuck[:10])
+        return order
+
+    # ------------------------------------------------------------------
+    # lookup helpers
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> int:
+        return self.node_index[name]
+
+    def node_of(self, name: str) -> Optional[int]:
+        return self.node_index.get(name)
+
+    def name(self, node: int) -> str:
+        return self.node_names[node]
+
+    def names(self, nodes: Iterable[int]) -> List[str]:
+        return [self.node_names[n] for n in nodes]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def arc_count(self) -> int:
+        return len(self.arcs)
+
+    def is_endpoint_node(self, node: int) -> bool:
+        return node in self.seq_data_nodes or node in self.output_port_nodes
+
+    def is_startpoint_node(self, node: int) -> bool:
+        return node in self.seq_clock_nodes or node in self.input_port_nodes
+
+    def endpoint_nodes(self) -> List[int]:
+        """All timing endpoints: sequential data pins + output ports."""
+        nodes = sorted(self.seq_data_nodes | self.output_port_nodes)
+        return nodes
+
+    def startpoint_nodes(self) -> List[int]:
+        """All timing startpoints: sequential clock pins + input ports."""
+        nodes = sorted(self.seq_clock_nodes | self.input_port_nodes)
+        return nodes
+
+    def instance_of(self, node: int) -> Optional[Instance]:
+        obj = self.node_obj[node]
+        if isinstance(obj, Pin):
+            return obj.instance
+        return None
+
+    def __repr__(self) -> str:
+        return (f"TimingGraph(nodes={self.node_count}, arcs={self.arc_count}, "
+                f"endpoints={len(self.seq_data_nodes) + len(self.output_port_nodes)})")
+
+
+_GRAPH_CACHE: Dict[int, TimingGraph] = {}
+
+
+def build_graph(netlist: Netlist) -> TimingGraph:
+    """Build (or fetch a cached) timing graph for ``netlist``.
+
+    The cache is keyed by object identity: netlists are append-only in this
+    library, and every caller that mutates a netlist builds a new one.
+    """
+    key = id(netlist)
+    graph = _GRAPH_CACHE.get(key)
+    if graph is None or graph.netlist is not netlist \
+            or graph.node_count != _expected_nodes(netlist):
+        graph = TimingGraph(netlist)
+        _GRAPH_CACHE[key] = graph
+    return graph
+
+
+def _expected_nodes(netlist: Netlist) -> int:
+    return len(netlist.ports) + sum(len(i.pins) for i in netlist.instances)

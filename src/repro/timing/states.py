@@ -1,0 +1,153 @@
+"""Constraint states of timing relationships.
+
+The paper (Section 2) reduces every SDC constraint's *effect* to a state
+carried by a timing relationship: valid, false path, multicycle path,
+min/max delay override, disabled, ...  :class:`RelState` is that state, and
+:func:`resolve_state` applies the standard SDC precedence rules (false path
+overrides multicycle — the Table 1 example) to the set of exceptions that
+completed on a path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.sdc.commands import (
+    SetFalsePath,
+    SetMaxDelay,
+    SetMinDelay,
+    SetMulticyclePath,
+)
+
+
+@dataclass(frozen=True)
+class RelState:
+    """The constraint state of a set of timing paths.
+
+    ``is_false`` dominates everything else.  ``mcp_setup`` / ``mcp_hold``
+    are multicycle multipliers (None = single cycle), ``max_delay`` /
+    ``min_delay`` are point-to-point overrides.
+    """
+
+    is_false: bool = False
+    mcp_setup: Optional[int] = None
+    mcp_hold: Optional[int] = None
+    max_delay: Optional[float] = None
+    min_delay: Optional[float] = None
+
+    def __lt__(self, other):  # stable ordering for reports
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> Tuple:
+        return (
+            self.is_false,
+            self.mcp_setup if self.mcp_setup is not None else 0,
+            self.mcp_hold if self.mcp_hold is not None else 0,
+            self.max_delay if self.max_delay is not None else float("-inf"),
+            self.min_delay if self.min_delay is not None else float("-inf"),
+        )
+
+    @property
+    def is_valid_default(self) -> bool:
+        """True when no exception applies at all (the paper's ``V`` / "-")."""
+        return not self.is_false and self.mcp_setup is None \
+            and self.mcp_hold is None and self.max_delay is None \
+            and self.min_delay is None
+
+    def label(self) -> str:
+        """Short label in the paper's table notation."""
+        if self.is_false:
+            return "FP"
+        parts = []
+        if self.mcp_setup is not None:
+            parts.append(f"MCP({self.mcp_setup})")
+        if self.mcp_hold is not None:
+            parts.append(f"MCPH({self.mcp_hold})")
+        if self.max_delay is not None:
+            parts.append(f"MAXD({self.max_delay:g})")
+        if self.min_delay is not None:
+            parts.append(f"MIND({self.min_delay:g})")
+        return "+".join(parts) if parts else "V"
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+#: The unconstrained state (a plain valid single-cycle path).
+VALID = RelState()
+
+#: The false-path state.
+FALSE = RelState(is_false=True)
+
+
+def _specificity(spec) -> int:
+    """Exception precedence: -from+-to beats -from/-to beats -through only."""
+    has_from = bool(spec.from_refs)
+    has_to = bool(spec.to_refs)
+    if has_from and has_to:
+        return 3
+    if has_from or has_to:
+        return 2
+    return 1
+
+
+def resolve_state(exceptions: Iterable[object]) -> RelState:
+    """Combine the *completed* exceptions of one path into a RelState.
+
+    Precedence: ``set_false_path`` overrides everything; ``set_max_delay``
+    and ``set_min_delay`` override multicycle; among multicycle paths the
+    most specific selection wins, with the larger multiplier breaking ties
+    (matching common tool behaviour).
+    """
+    fps = []
+    mcps = []
+    max_delays = []
+    min_delays = []
+    for exc in exceptions:
+        if isinstance(exc, SetFalsePath):
+            fps.append(exc)
+        elif isinstance(exc, SetMulticyclePath):
+            mcps.append(exc)
+        elif isinstance(exc, SetMaxDelay):
+            max_delays.append(exc)
+        elif isinstance(exc, SetMinDelay):
+            min_delays.append(exc)
+
+    # A false path that applies to both setup and hold (neither flag, or
+    # both) kills the relationship entirely.
+    for fp in fps:
+        if not fp.hold or fp.setup:
+            return FALSE
+    # Hold-only false paths leave the setup relationship alive; they are
+    # reflected by suppressing hold analysis (mcp_hold sentinel not needed:
+    # model as mcp_hold=None plus no hold exceptions).
+
+    max_delay = min((m.value for m in max_delays), default=None)
+    min_delay = max((m.value for m in min_delays), default=None)
+
+    mcp_setup: Optional[int] = None
+    mcp_hold: Optional[int] = None
+    setup_candidates = [m for m in mcps if m.setup or not m.hold]
+    hold_candidates = [m for m in mcps if m.hold]
+    if setup_candidates:
+        best = max(setup_candidates,
+                   key=lambda m: (_specificity(m.spec), m.multiplier))
+        mcp_setup = best.multiplier
+    if hold_candidates:
+        best = max(hold_candidates,
+                   key=lambda m: (_specificity(m.spec), m.multiplier))
+        mcp_hold = best.multiplier
+
+    if max_delay is not None or min_delay is not None:
+        # Point-to-point overrides replace the multicycle adjustment.
+        mcp_setup = None if max_delay is not None else mcp_setup
+        mcp_hold = None if min_delay is not None else mcp_hold
+
+    return RelState(
+        is_false=False,
+        mcp_setup=mcp_setup,
+        mcp_hold=mcp_hold,
+        max_delay=max_delay,
+        min_delay=min_delay,
+    )

@@ -1,0 +1,27 @@
+"""Synthetic multi-mode workloads (the paper's design suite, rebuilt)."""
+
+from repro.workloads.export import export_workload
+from repro.workloads.designs import (
+    PaperDesign,
+    figure2_modes,
+    load_design,
+    paper_suite,
+)
+from repro.workloads.generator import (
+    ModeGroupSpec,
+    Workload,
+    WorkloadSpec,
+    generate,
+)
+
+__all__ = [
+    "ModeGroupSpec",
+    "PaperDesign",
+    "Workload",
+    "WorkloadSpec",
+    "export_workload",
+    "figure2_modes",
+    "generate",
+    "load_design",
+    "paper_suite",
+]

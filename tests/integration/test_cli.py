@@ -1,0 +1,108 @@
+"""Integration tests for the repro-merge CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.netlist import write_verilog, figure1_circuit
+
+NETLIST_V = """
+module chip (clk, din, dout);
+  input clk, din;
+  output dout;
+  wire q1, n1;
+  DFF stage1 (.D(din), .CP(clk), .Q(q1));
+  INV logic1 (.A(q1), .Z(n1));
+  DFF stage2 (.D(n1), .CP(clk), .Q(dout));
+endmodule
+"""
+
+MODE_A = """
+create_clock -name CK -period 10 [get_ports clk]
+set_false_path -to [get_pins stage2/D]
+"""
+
+MODE_B = """
+create_clock -name CK -period 10 [get_ports clk]
+set_false_path -from [get_pins stage1/CP]
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    netlist = tmp_path / "chip.v"
+    netlist.write_text(NETLIST_V)
+    mode_a = tmp_path / "modeA.sdc"
+    mode_a.write_text(MODE_A)
+    mode_b = tmp_path / "modeB.sdc"
+    mode_b.write_text(MODE_B)
+    return tmp_path, netlist, mode_a, mode_b
+
+
+class TestMergeCommand:
+    def test_merge_writes_sdc(self, files, capsys):
+        tmp, netlist, mode_a, mode_b = files
+        out = tmp / "out"
+        code = main(["merge", str(netlist), str(mode_a), str(mode_b),
+                     "-o", str(out)])
+        assert code == 0
+        written = list(out.glob("*.sdc"))
+        assert len(written) == 1
+        text = written[0].read_text()
+        assert "create_clock" in text
+        assert "set_false_path" in text
+        captured = capsys.readouterr().out
+        assert "modes: 2 -> 1" in captured
+
+    def test_json_report(self, files):
+        tmp, netlist, mode_a, mode_b = files
+        out = tmp / "out"
+        code = main(["merge", str(netlist), str(mode_a), str(mode_b),
+                     "-o", str(out), "--json"])
+        assert code == 0
+        import json
+
+        record = json.loads((out / "merge_report.json").read_text())
+        assert record["merged_modes"] == 1
+        assert record["groups"][0]["result"]["ok"]
+
+    def test_merged_output_reparses(self, files):
+        tmp, netlist, mode_a, mode_b = files
+        out = tmp / "out"
+        main(["merge", str(netlist), str(mode_a), str(mode_b),
+              "-o", str(out)])
+        from repro.sdc import parse_mode
+
+        text = next(out.glob("*.sdc")).read_text()
+        assert len(parse_mode(text)) >= 2
+
+
+class TestAuditCommand:
+    def test_audit_accepts_good_candidate(self, files, tmp_path):
+        tmp, netlist, mode_a, mode_b = files
+        candidate = tmp_path / "cand.sdc"
+        candidate.write_text(
+            "create_clock -name CK -period 10 [get_ports clk]\n"
+            "set_false_path -to [get_pins stage2/D]\n")
+        code = main(["audit", str(netlist), str(mode_a), str(mode_b),
+                     "--candidate", str(candidate)])
+        assert code == 0
+
+    def test_audit_rejects_bad_candidate(self, files, tmp_path, capsys):
+        tmp, netlist, mode_a, mode_b = files
+        candidate = tmp_path / "cand.sdc"
+        # Times the path both modes falsify.
+        candidate.write_text(
+            "create_clock -name CK -period 10 [get_ports clk]\n")
+        code = main(["audit", str(netlist), str(mode_a), str(mode_b),
+                     "--candidate", str(candidate)])
+        assert code == 1
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_prints_graph(self, files, capsys):
+        tmp, netlist, mode_a, mode_b = files
+        code = main(["report", str(netlist), str(mode_a), str(mode_b)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mergeability graph: 2 modes, 1 mergeable pairs" in out

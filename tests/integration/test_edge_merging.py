@@ -1,0 +1,81 @@
+"""Integration: mode merging with edge-qualified exceptions.
+
+The relationship definition in the paper includes the rise/fall type; this
+exercises it end to end: modes whose false paths apply to only one data
+edge must merge into a mode that preserves the per-edge behaviour, with
+the refinement synthesizing ``-rise_to``/``-fall_to`` fixes when needed.
+"""
+
+import pytest
+
+from repro.core import merge_modes, check_mode_equivalence
+from repro.netlist import NetlistBuilder
+from repro.sdc import parse_mode, write_constraint
+
+CLK = "create_clock -name c -period 10 [get_ports clk]\n"
+
+
+@pytest.fixture
+def netlist():
+    b = NetlistBuilder("edges")
+    b.inputs("clk", "in1")
+    rA = b.dff("rA", d="in1", clk="clk")
+    buf = b.buf("buf1", rA.q)
+    b.dff("rB", d=buf.out, clk="clk")
+    return b.build()
+
+
+class TestEdgeQualifiedMerging:
+    def test_common_edge_fp_added_directly(self, netlist):
+        text = CLK + "set_false_path -rise_to [get_pins rB/D]"
+        result = merge_modes(netlist, [parse_mode(text, "A"),
+                                       parse_mode(text, "B")])
+        assert result.ok
+        fps = result.merged.false_paths()
+        assert len(fps) == 1
+        assert fps[0].spec.rise_to
+
+    def test_edge_fp_false_in_both_modes_rederived(self, netlist):
+        """Each mode falsifies the rising instance through a different
+        constraint form; the merged mode must falsify exactly that edge."""
+        mode_a = parse_mode(
+            CLK + "set_false_path -rise_to [get_pins rB/D]", "A")
+        mode_b = parse_mode(
+            CLK + "set_false_path -rise_from [get_clocks c] "
+                  "-rise_to [get_pins rB/D]", "B")
+        result = merge_modes(netlist, [mode_a, mode_b])
+        assert result.ok, result.outcome.residuals
+        texts = [write_constraint(c) for c in result.merged.false_paths()]
+        assert any("-rise_to" in t and "rB/D" in t for t in texts)
+        # The falling-edge instance must stay timed: no plain -to FP.
+        assert not any("-rise_to" not in t and "-to [get_pins rB/D]" in t
+                       for t in texts)
+
+    def test_mode_specific_edge_fp_dropped_and_effective(self, netlist):
+        """An edge FP in only one mode is dropped: the other mode times
+        the rising instance, so the merged mode must too."""
+        mode_a = parse_mode(
+            CLK + "set_false_path -rise_to [get_pins rB/D]", "A")
+        mode_b = parse_mode(CLK, "B")
+        result = merge_modes(netlist, [mode_a, mode_b])
+        assert result.ok
+        assert not result.merged.false_paths()
+
+    def test_equivalence_audit_catches_wrong_edge(self, netlist):
+        mode = parse_mode(
+            CLK + "set_false_path -rise_to [get_pins rB/D]", "A")
+        wrong = parse_mode(
+            CLK + "set_false_path -fall_to [get_pins rB/D]", "cand")
+        report = check_mode_equivalence(netlist, [mode], wrong)
+        assert not report.equivalent
+
+    def test_equivalence_audit_accepts_equivalent_edge_form(self, netlist):
+        """-rise_to at rB/D equals -rise_from clock + -rise_to through a
+        positive-unate path (buffer keeps the edge)."""
+        mode = parse_mode(
+            CLK + "set_false_path -rise_to [get_pins rB/D]", "A")
+        same = parse_mode(
+            CLK + "set_false_path -rise_to [get_pins rB/D] "
+                  "-from [get_clocks c]", "cand")
+        report = check_mode_equivalence(netlist, [mode], same)
+        assert report.equivalent

@@ -1,0 +1,214 @@
+"""Integration tests: every worked example of the paper, end to end.
+
+Each test reproduces one of the paper's Constraint Sets (1-6) on the
+Figure-1 circuit and asserts the published outcome: Table 1's relationship
+states, CS2's clock union and latency merge, CS3's inferred disables and
+clock stop, CS4's uniquified multicycle, CS5's data-refinement false path,
+and CS6's three-pass fixes with the Tables 2-4 verdicts.
+"""
+
+import pytest
+
+from repro.core import merge_modes
+from repro.netlist import NetlistBuilder
+from repro.sdc import parse_mode, write_constraint, write_mode
+from repro.timing import (
+    BoundMode,
+    FALSE,
+    RelState,
+    RelationshipExtractor,
+    VALID,
+    named_endpoint_rows,
+)
+
+
+class TestConstraintSet1Table1:
+    """Section 2: relationship extraction and FP-over-MCP precedence."""
+
+    def test_table1_rows(self, figure1, cs1_mode):
+        bound = BoundMode(figure1, cs1_mode)
+        rows = named_endpoint_rows(
+            bound, RelationshipExtractor(bound).endpoint_relationships())
+        assert rows[("rX/D", "clkA", "clkA")] \
+            == frozenset([RelState(mcp_setup=2)])
+        # FP overrides MCP at rY/D even though MCP also matches.
+        assert rows[("rY/D", "clkA", "clkA")] == frozenset([FALSE])
+        # No constraints affect rZ/D.
+        assert rows[("rZ/D", "clkA", "clkA")] == frozenset([VALID])
+
+
+class TestConstraintSet2ClockUnion:
+    """Section 3.1.1/3.1.2 on a three-clock-port design."""
+
+    @pytest.fixture
+    def netlist(self):
+        b = NetlistBuilder("cs2")
+        b.inputs("clk1", "clk2", "clk3", "in1")
+        r1 = b.dff("r1", d="in1", clk="clk1")
+        r2 = b.dff("r2", d=r1.q, clk="clk2")
+        r3 = b.dff("r3", d=r2.q, clk="clk3")
+        b.output("out1", r3.q)
+        return b.build()
+
+    def test_union_and_latency(self, netlist):
+        mode_a = parse_mode("""
+            create_clock -name clkA -period 10 [get_ports clk1]
+            create_clock -name clkB -period 20 [get_ports clk2]
+            set_clock_latency -min 0.2 [get_clocks clkB]
+        """, "A")
+        mode_b = parse_mode("""
+            create_clock -name clkA -period 10 [get_ports clk1]
+            create_clock -name clkC -period 20 [get_ports clk2]
+            create_clock -name clkB -period 40 [get_ports clk3]
+            set_clock_latency -min 0.19 [get_clocks clkC]
+        """, "B")
+        result = merge_modes(netlist, [mode_a, mode_b])
+        assert result.ok
+        # Four unique clocks in the paper; here clkC deduplicates into
+        # clkB of A and clkB of B is renamed clkB_1.
+        assert [c.name for c in result.merged.clocks()] \
+            == ["clkA", "clkB", "clkB_1"]
+        assert result.clock_maps["B"] \
+            == {"clkA": "clkA", "clkC": "clkB", "clkB": "clkB_1"}
+        # Min latency merged to min(0.2, 0.19).
+        from repro.sdc import SetClockLatency
+
+        latency = result.merged.of_type(SetClockLatency)[0]
+        assert latency.value == pytest.approx(0.19)
+
+
+class TestConstraintSet3ClockRefinement:
+    """Section 3.1.8: inferred disables + clock sense stop."""
+
+    def test_merged_mode_constraints(self, figure1):
+        mode_a = parse_mode("""
+            create_clock -period 10 -name clkA [get_port clk1]
+            create_clock -period 20 -name clkB [get_port clk2]
+            set_case_analysis 0 sel1
+            set_case_analysis 1 sel2
+        """, "A")
+        mode_b = parse_mode("""
+            create_clock -period 10 -name clkA [get_port clk1]
+            create_clock -period 20 -name clkB [get_port clk2]
+            set_case_analysis 1 sel1
+            set_case_analysis 0 sel2
+        """, "B")
+        result = merge_modes(figure1, [mode_a, mode_b])
+        assert result.ok
+        text = write_mode(result.merged, header=False)
+        assert "set_disable_timing [get_ports sel1]" in text
+        assert "set_disable_timing [get_ports sel2]" in text
+        assert ("set_clock_sense -stop_propagation "
+                "-clocks [get_clocks clkA] [get_pins mux1/Z]") in text
+        # Conflicting cases dropped from the merged mode.
+        assert "set_case_analysis" not in text
+
+
+class TestConstraintSet4Uniquification:
+    """Section 3.1.10 on a clock-muxed register pair."""
+
+    @pytest.fixture
+    def netlist(self):
+        b = NetlistBuilder("cs4")
+        b.inputs("clk1", "clk2", "sel", "in1")
+        mux1 = b.mux2("mux1", "clk1", "clk2", "sel")
+        rA = b.dff("rA", d="in1", clk=mux1.out)
+        rX = b.dff("rX", d=rA.q, clk=mux1.out)
+        b.output("out1", rX.q)
+        return b.build()
+
+    def test_mcp_uniquified(self, netlist):
+        mode_a = parse_mode("""
+            create_clock -name clkA -period 10 [get_port clk1]
+            set_case_analysis 0 [mux1/S]
+            set_multicycle_path 2 -from [rA/CP]
+        """, "A")
+        mode_b = parse_mode("""
+            create_clock -name clkB -period 10 [get_port clk2]
+            set_case_analysis 1 [mux1/S]
+        """, "B")
+        result = merge_modes(netlist, [mode_a, mode_b])
+        assert result.ok
+        mcps = result.merged.multicycle_paths()
+        assert len(mcps) == 1
+        text = write_constraint(mcps[0])
+        # The paper's mode A' form.
+        assert "-from [get_clocks clkA]" in text
+        assert "-through" in text and "rA/CP" in text
+
+
+class TestConstraintSet5DataRefinement:
+    """Section 3.2 first step on the two-clock single-port design."""
+
+    def test_merged_mode(self, figure1):
+        mode_a = parse_mode("""
+            create_clock -name ClkA -period 2 [get_port clk1]
+            set_input_delay 2.0 -clock ClkA [get_port in1]
+            set_output_delay 2.0 -clock ClkA [get_port out1]
+        """, "A")
+        mode_b = parse_mode("""
+            create_clock -name ClkB -period 1 [get_port clk1]
+            set_input_delay 2.0 -clock ClkB [get_port in1]
+            set_output_delay 2.0 -clock ClkB [get_ports out1]
+            set_case_analysis 0 rB/Q
+        """, "B")
+        result = merge_modes(figure1, [mode_a, mode_b])
+        assert result.ok
+        text = write_mode(result.merged, header=False)
+        # Paper CSTR1-5: both clocks with -add, accumulated IO delays,
+        # physical exclusivity.
+        assert "create_clock -name ClkA -period 2 -add" in text
+        assert "create_clock -name ClkB -period 1 -add" in text
+        assert text.count("set_input_delay") == 2
+        assert "-add_delay" in text
+        assert "physically_exclusive" in text
+        # Paper CSTR6: ClkB stopped at the case-held register output.
+        assert ("set_false_path -from [get_clocks ClkB] "
+                "-through [get_pins rB/Q]") in text
+
+
+class TestConstraintSet6ThreePass:
+    """Section 3.2 second step: Tables 2-4 and CSTR1-CSTR3."""
+
+    @pytest.fixture
+    def result(self, figure1, cs6_modes):
+        return merge_modes(figure1, list(cs6_modes))
+
+    def test_fix_constraints_match_paper(self, result):
+        fixes = [write_constraint(c) for c in result.outcome.added]
+        assert fixes == [
+            "set_false_path -to [get_pins rX/D]",
+            "set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]",
+            "set_false_path -from [get_pins rC/CP] "
+            "-through [get_pins inv3/A] -to [get_pins rZ/D]",
+        ]
+
+    def test_table2_verdicts(self, result):
+        verdicts = {e.endpoint: e.result
+                    for e in result.outcome.pass1_entries}
+        assert verdicts == {"rX/D": "X", "rY/D": "A", "rZ/D": "A"}
+
+    def test_table3_verdicts(self, result):
+        verdicts = {(e.startpoint, e.endpoint): e.result
+                    for e in result.outcome.pass2_entries}
+        assert verdicts == {
+            ("rA/CP", "rY/D"): "X",
+            ("rB/CP", "rY/D"): "M",
+            ("rC/CP", "rZ/D"): "A",
+        }
+
+    def test_table3_effective_individual_state(self, result):
+        """Row (rB/CP, rY/D) shows V: false in A, valid in B -> must time."""
+        row = next(e for e in result.outcome.pass2_entries
+                   if e.startpoint == "rB/CP")
+        assert row.individual == "V"
+        assert row.merged == "V"
+
+    def test_table4_verdicts(self, result):
+        verdicts = {e.through: e.result for e in result.outcome.pass3_entries}
+        assert verdicts == {"and2/A": "M", "inv3/A": "X"}
+
+    def test_validation_passes(self, result):
+        assert result.validated
+        assert result.validation_mismatches == []
+        assert result.ok

@@ -1,0 +1,127 @@
+"""Property tests: the tag-propagation engine vs the path-enumeration
+oracle, plus structural invariants of the timing graph machinery."""
+
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+sys.path.insert(0, str(Path(__file__).parent))
+from circuits import build_random_circuit, build_random_mode, circuit_params
+
+from repro.timing import (
+    BoundMode,
+    RelationshipExtractor,
+    build_graph,
+    endpoint_states_by_enumeration,
+    named_endpoint_rows,
+)
+
+
+class TestTagEngineAgainstOracle:
+    @given(circuit_params, st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_endpoint_states_match_enumeration(self, params, mode_seed):
+        """For every endpoint and clock pair, the relationship states the
+        tag engine computes equal the set of per-path states obtained by
+        enumerating every path — the definitional ground truth."""
+        seed, gates, regs, mux = params
+        netlist = build_random_circuit(seed, gates, regs, mux)
+        mode = build_random_mode(netlist, mode_seed, "m")
+        bound = BoundMode(netlist, mode)
+        extractor = RelationshipExtractor(bound)
+        rows = extractor.endpoint_relationships()
+        graph = bound.graph
+
+        by_endpoint = {}
+        for (ep, lc, cc), states in rows.items():
+            by_endpoint.setdefault(ep, {})[(lc, cc)] = states
+
+        for ep in graph.endpoint_nodes():
+            oracle = endpoint_states_by_enumeration(bound, ep)
+            assert by_endpoint.get(ep, {}) == oracle, (
+                f"endpoint {graph.name(ep)}: engine="
+                f"{by_endpoint.get(ep)}, oracle={oracle}")
+
+    @given(circuit_params, st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_pair_rows_union_to_endpoint_rows(self, params, mode_seed):
+        """Collapsing pass-2 rows over startpoints gives pass-1 rows."""
+        seed, gates, regs, mux = params
+        netlist = build_random_circuit(seed, gates, regs, mux)
+        mode = build_random_mode(netlist, mode_seed, "m")
+        bound = BoundMode(netlist, mode)
+        extractor = RelationshipExtractor(bound)
+        endpoint_rows = extractor.endpoint_relationships()
+        pair_rows = extractor.pair_relationships()
+
+        collapsed = {}
+        for (sp, ep, lc, cc), states in pair_rows.items():
+            key = (ep, lc, cc)
+            collapsed[key] = collapsed.get(key, frozenset()) | states
+        assert collapsed == endpoint_rows
+
+
+class TestGraphInvariants:
+    @given(circuit_params)
+    @settings(max_examples=60, deadline=None)
+    def test_topological_order_is_valid(self, params):
+        seed, gates, regs, mux = params
+        netlist = build_random_circuit(seed, gates, regs, mux)
+        graph = build_graph(netlist)
+        assert sorted(graph.topo_order) == list(range(graph.node_count))
+        for arc in graph.arcs:
+            assert graph.topo_rank[arc.src] < graph.topo_rank[arc.dst]
+
+    @given(circuit_params)
+    @settings(max_examples=60, deadline=None)
+    def test_fanin_fanout_are_mirrors(self, params):
+        seed, gates, regs, mux = params
+        netlist = build_random_circuit(seed, gates, regs, mux)
+        graph = build_graph(netlist)
+        for node in range(graph.node_count):
+            for arc in graph.fanout[node]:
+                assert arc.src == node
+                assert arc in graph.fanin[arc.dst]
+
+
+class TestConstantInvariants:
+    @given(circuit_params, st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_live_arc_endpoints_not_constant(self, params, mode_seed):
+        seed, gates, regs, mux = params
+        netlist = build_random_circuit(seed, gates, regs, mux)
+        mode = build_random_mode(netlist, mode_seed, "m",
+                                 with_exceptions=False)
+        bound = BoundMode(netlist, mode)
+        for arc in bound.graph.arcs:
+            if bound.constants.arc_is_live(arc):
+                assert not bound.constants.is_constant(arc.src)
+                assert not bound.constants.is_constant(arc.dst)
+
+    @given(circuit_params, st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_constants_consistent_with_functions(self, params, mode_seed):
+        """Every combinational output's constant equals its function
+        evaluated over the input constants."""
+        from repro.netlist.cells import LOGIC_X
+
+        seed, gates, regs, mux = params
+        netlist = build_random_circuit(seed, gates, regs, mux)
+        mode = build_random_mode(netlist, mode_seed, "m",
+                                 with_exceptions=False)
+        bound = BoundMode(netlist, mode)
+        graph = bound.graph
+        for inst in netlist.instances:
+            if inst.is_sequential:
+                continue
+            for out in inst.output_pins():
+                node = graph.node(out.full_name)
+                if node in bound.case_values:
+                    continue  # forced, not computed
+                inputs = {
+                    p.name: bound.constants.value(graph.node(p.full_name))
+                    for p in inst.input_pins()
+                }
+                assert bound.constants.value(node) \
+                    == inst.cell.evaluate(out.name, inputs)

@@ -1,0 +1,115 @@
+"""Property tests: every constraint survives write -> parse unchanged."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sdc import (
+    ClockGroupKind,
+    CreateClock,
+    ObjectRef,
+    PathSpec,
+    SetCaseAnalysis,
+    SetClockGroups,
+    SetClockLatency,
+    SetClockSense,
+    SetClockUncertainty,
+    SetDisableTiming,
+    SetFalsePath,
+    SetInputDelay,
+    SetLoad,
+    SetMaxDelay,
+    SetMulticyclePath,
+    SetOutputDelay,
+    parse_mode,
+    write_constraint,
+)
+
+name = st.text(alphabet=string.ascii_letters + string.digits + "_",
+               min_size=1, max_size=8).filter(lambda s: s[0].isalpha())
+pin_name = st.builds(lambda a, b: f"{a}/{b}", name, name)
+value = st.floats(min_value=-100, max_value=100,
+                  allow_nan=False, allow_infinity=False).map(
+    lambda v: round(v, 4))
+positive = st.floats(min_value=0.001, max_value=100,
+                     allow_nan=False).map(lambda v: round(v, 4))
+
+
+def ports_ref():
+    return st.lists(name, min_size=1, max_size=3).map(
+        lambda names: ObjectRef.ports(*names))
+
+
+def pins_ref():
+    return st.lists(pin_name, min_size=1, max_size=3).map(
+        lambda names: ObjectRef.pins(*names))
+
+
+def clocks_ref():
+    return st.lists(name, min_size=1, max_size=2).map(
+        lambda names: ObjectRef.clocks(*names))
+
+
+def any_ref():
+    return st.one_of(ports_ref(), pins_ref(), clocks_ref())
+
+
+@st.composite
+def path_specs(draw):
+    from_refs = tuple(draw(st.lists(
+        st.one_of(pins_ref(), clocks_ref()), max_size=2)))
+    through_refs = tuple(draw(st.lists(pins_ref(), max_size=2)))
+    to_refs = tuple(draw(st.lists(
+        st.one_of(pins_ref(), clocks_ref()), max_size=2)))
+    spec = PathSpec(from_refs, through_refs, to_refs)
+    return spec
+
+
+constraints = st.one_of(
+    st.builds(CreateClock, name=name, period=positive,
+              sources=ports_ref(), add=st.booleans()),
+    st.builds(SetClockLatency, value=value, objects=clocks_ref(),
+              min_flag=st.booleans(), source=st.booleans()),
+    st.builds(SetClockUncertainty, value=positive, objects=clocks_ref(),
+              setup=st.booleans(), hold=st.booleans()),
+    st.builds(SetClockSense, pins=pins_ref(), clocks=clocks_ref(),
+              stop_propagation=st.just(True)),
+    st.builds(SetInputDelay, value=value, objects=ports_ref(), clock=name,
+              add_delay=st.booleans(), min_flag=st.booleans()),
+    st.builds(SetOutputDelay, value=value, objects=ports_ref(), clock=name,
+              max_flag=st.booleans()),
+    st.builds(SetCaseAnalysis, value=st.sampled_from([0, 1]),
+              objects=st.one_of(ports_ref(), pins_ref())),
+    st.builds(SetDisableTiming, objects=st.one_of(ports_ref(), pins_ref())),
+    st.builds(SetLoad, value=positive, objects=ports_ref(),
+              min_flag=st.booleans()),
+    st.builds(SetClockGroups,
+              groups=st.lists(st.lists(name, min_size=1, max_size=2)
+                              .map(tuple), min_size=2, max_size=3).map(tuple),
+              kind=st.sampled_from(list(ClockGroupKind)),
+              name=name),
+    path_specs().filter(lambda s: not s.is_empty).map(
+        lambda s: SetFalsePath(spec=s)),
+    st.builds(SetMulticyclePath, multiplier=st.integers(1, 8),
+              spec=path_specs(), setup=st.booleans(), hold=st.booleans()),
+    path_specs().map(lambda s: SetMaxDelay(value=5.0, spec=s)),
+)
+
+
+class TestRoundTripProperty:
+    @given(constraints)
+    @settings(max_examples=400)
+    def test_write_parse_identity(self, constraint):
+        text = write_constraint(constraint)
+        reparsed = parse_mode(text).constraints
+        assert len(reparsed) == 1
+        assert reparsed[0] == constraint, text
+
+    @given(st.lists(constraints, max_size=8))
+    @settings(max_examples=50)
+    def test_mode_order_preserved(self, items):
+        from repro.sdc import Mode, write_mode
+
+        mode = Mode("m", items)
+        reparsed = parse_mode(write_mode(mode), "m")
+        assert reparsed.constraints == list(items)

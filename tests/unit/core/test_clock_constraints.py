@@ -1,0 +1,128 @@
+"""Unit tests for tolerance merging of clock-based constraints (3.1.2)."""
+
+import pytest
+
+from repro.core import merge_clock_constraints, merge_clocks, values_within_tolerance
+from repro.core.steps import MergeContext
+from repro.sdc import SetClockLatency, SetClockUncertainty, parse_mode
+
+
+def run_step(netlist, *sdcs, tolerance=0.1):
+    modes = [parse_mode(text, f"m{i}") for i, text in enumerate(sdcs)]
+    ctx = MergeContext(netlist, modes)
+    merge_clocks(ctx)
+    report = merge_clock_constraints(ctx, tolerance)
+    return ctx, report
+
+
+class TestTolerance:
+    def test_within(self):
+        assert values_within_tolerance([0.19, 0.2], 0.1)
+        assert values_within_tolerance([1.0], 0.1)
+        assert values_within_tolerance([0.0, 0.0], 0.1)
+
+    def test_outside(self):
+        assert not values_within_tolerance([0.1, 0.2], 0.1)
+        assert not values_within_tolerance([-1.0, 1.0], 0.1)
+
+
+class TestLatencyMerge:
+    def test_min_values_take_minimum(self, pipeline_netlist):
+        ctx, report = run_step(
+            pipeline_netlist,
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_clock_latency -min 0.2 [get_clocks c]",
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_clock_latency -min 0.19 [get_clocks c]",
+        )
+        latency = ctx.merged.of_type(SetClockLatency)[0]
+        assert latency.value == pytest.approx(0.19)
+        assert not report.conflicts
+
+    def test_max_values_take_maximum(self, pipeline_netlist):
+        ctx, _ = run_step(
+            pipeline_netlist,
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_clock_latency -max 0.50 [get_clocks c]",
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_clock_latency -max 0.53 [get_clocks c]",
+        )
+        assert ctx.merged.of_type(SetClockLatency)[0].value \
+            == pytest.approx(0.53)
+
+    def test_out_of_tolerance_is_conflict(self, pipeline_netlist):
+        _, report = run_step(
+            pipeline_netlist,
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_clock_latency -min 0.1 [get_clocks c]",
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_clock_latency -min 0.5 [get_clocks c]",
+        )
+        assert report.conflicts
+
+    def test_clock_only_in_one_mode_added_as_is(self, pipeline_netlist):
+        """CS2: latency on clkA exists only where clkA exists."""
+        ctx, report = run_step(
+            pipeline_netlist,
+            "create_clock -name a -period 10 [get_ports clk]\n"
+            "set_clock_latency -min 0.2 [get_clocks a]",
+            "create_clock -name b -period 99 [get_ports clk]",
+        )
+        assert len(ctx.merged.of_type(SetClockLatency)) == 1
+        assert not report.conflicts
+
+    def test_missing_in_relevant_mode_noted(self, pipeline_netlist):
+        _, report = run_step(
+            pipeline_netlist,
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_clock_latency -min 0.2 [get_clocks c]",
+            "create_clock -name c -period 10 [get_ports clk]",
+        )
+        assert any("missing" in n for n in report.notes)
+
+
+class TestUncertaintyMerge:
+    def test_uncertainty_takes_max(self, pipeline_netlist):
+        ctx, _ = run_step(
+            pipeline_netlist,
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_clock_uncertainty 0.10 [get_clocks c]",
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_clock_uncertainty 0.105 [get_clocks c]",
+        )
+        unc = ctx.merged.of_type(SetClockUncertainty)[0]
+        assert unc.value == pytest.approx(0.105)
+
+    def test_renamed_clock_constraints_correlate(self, pipeline_netlist):
+        """Latency on clkC of mode B must merge with clkB of mode A when
+        the clocks dedupe (the CS2 case)."""
+        ctx, _ = run_step(
+            pipeline_netlist,
+            "create_clock -name x -period 10 [get_ports clk]\n"
+            "set_clock_uncertainty 0.10 [get_clocks x]",
+            "create_clock -name y -period 10 [get_ports clk]\n"
+            "set_clock_uncertainty 0.104 [get_clocks y]",
+        )
+        rows = ctx.merged.of_type(SetClockUncertainty)
+        assert len(rows) == 1
+        assert rows[0].value == pytest.approx(0.104)
+
+
+class TestPropagatedClock:
+    def test_common_added_once(self, pipeline_netlist):
+        text = ("create_clock -name c -period 10 [get_ports clk]\n"
+                "set_propagated_clock [get_clocks c]")
+        ctx, report = run_step(pipeline_netlist, text, text)
+        from repro.sdc import SetPropagatedClock
+
+        assert len(ctx.merged.of_type(SetPropagatedClock)) == 1
+        assert not report.conflicts
+
+    def test_partial_presence_conflicts(self, pipeline_netlist):
+        _, report = run_step(
+            pipeline_netlist,
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_propagated_clock [get_clocks c]",
+            "create_clock -name c -period 10 [get_ports clk]",
+        )
+        assert report.conflicts

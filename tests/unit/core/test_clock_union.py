@@ -1,0 +1,133 @@
+"""Unit tests for the clock-union step (3.1.1)."""
+
+import pytest
+
+from repro.core import merge_clocks
+from repro.core.steps import MergeContext
+from repro.netlist import NetlistBuilder
+from repro.sdc import parse_mode
+
+
+@pytest.fixture
+def three_clock_netlist():
+    b = NetlistBuilder("t")
+    b.inputs("clk1", "clk2", "clk3", "d")
+    r1 = b.dff("r1", d="d", clk="clk1")
+    r2 = b.dff("r2", d=r1.q, clk="clk2")
+    b.dff("r3", d=r2.q, clk="clk3")
+    return b.build()
+
+
+def context_for(netlist, *sdcs):
+    modes = [parse_mode(text, f"m{i}") for i, text in enumerate(sdcs)]
+    return MergeContext(netlist, modes)
+
+
+class TestDuplicateDetection:
+    def test_same_source_same_waveform_is_duplicate(self, three_clock_netlist):
+        ctx = context_for(
+            three_clock_netlist,
+            "create_clock -name a -period 10 [get_ports clk1]",
+            "create_clock -name b -period 10 [get_ports clk1]",
+        )
+        merge_clocks(ctx)
+        assert len(ctx.merged.clocks()) == 1
+        assert ctx.clock_maps["m0"]["a"] == "a"
+        assert ctx.clock_maps["m1"]["b"] == "a"
+
+    def test_different_period_not_duplicate(self, three_clock_netlist):
+        ctx = context_for(
+            three_clock_netlist,
+            "create_clock -name a -period 10 [get_ports clk1]",
+            "create_clock -name a -period 20 [get_ports clk1]",
+        )
+        merge_clocks(ctx)
+        names = [c.name for c in ctx.merged.clocks()]
+        assert names == ["a", "a_1"]
+        assert ctx.clock_maps["m1"]["a"] == "a_1"
+
+    def test_different_waveform_not_duplicate(self, three_clock_netlist):
+        ctx = context_for(
+            three_clock_netlist,
+            "create_clock -name a -period 10 [get_ports clk1]",
+            "create_clock -name a -period 10 -waveform {2 7} [get_ports clk1]",
+        )
+        merge_clocks(ctx)
+        assert len(ctx.merged.clocks()) == 2
+
+    def test_different_source_not_duplicate(self, three_clock_netlist):
+        ctx = context_for(
+            three_clock_netlist,
+            "create_clock -name a -period 10 [get_ports clk1]",
+            "create_clock -name a -period 10 [get_ports clk2]",
+        )
+        merge_clocks(ctx)
+        assert len(ctx.merged.clocks()) == 2
+
+    def test_cs2_scenario(self, three_clock_netlist):
+        """The paper's Constraint Set 2: clkC of B duplicates clkB of A."""
+        ctx = context_for(
+            three_clock_netlist,
+            """
+            create_clock -name clkA -period 10 [get_ports clk1]
+            create_clock -name clkB -period 20 [get_ports clk2]
+            """,
+            """
+            create_clock -name clkA -period 10 [get_ports clk1]
+            create_clock -name clkC -period 20 [get_ports clk2]
+            create_clock -name clkB -period 40 [get_ports clk3]
+            """,
+        )
+        merge_clocks(ctx)
+        names = [c.name for c in ctx.merged.clocks()]
+        assert names == ["clkA", "clkB", "clkB_1"]
+        assert ctx.clock_maps["m1"] == {
+            "clkA": "clkA", "clkC": "clkB", "clkB": "clkB_1"}
+
+    def test_merged_clocks_carry_add(self, three_clock_netlist):
+        ctx = context_for(
+            three_clock_netlist,
+            "create_clock -name a -period 10 [get_ports clk1]",
+        )
+        merge_clocks(ctx)
+        assert all(c.add for c in ctx.merged.clocks())
+
+    def test_reverse_map(self, three_clock_netlist):
+        ctx = context_for(
+            three_clock_netlist,
+            "create_clock -name a -period 10 [get_ports clk1]",
+            "create_clock -name b -period 10 [get_ports clk1]",
+        )
+        merge_clocks(ctx)
+        assert ctx.reverse_clock_map["a"] == [("m0", "a"), ("m1", "b")]
+
+
+class TestVirtualAndGenerated:
+    def test_virtual_clocks_union_by_waveform(self, three_clock_netlist):
+        ctx = context_for(
+            three_clock_netlist,
+            "create_clock -name v -period 10",
+            "create_clock -name w -period 10",
+        )
+        merge_clocks(ctx)
+        assert len(ctx.merged.clocks()) == 1
+
+    def test_generated_clock_union(self, three_clock_netlist):
+        gen = ("create_clock -name c -period 10 [get_ports clk1]\n"
+               "create_generated_clock -name g -source [get_ports clk1] "
+               "-divide_by 2 -master_clock c [get_pins r1/Q]")
+        ctx = context_for(three_clock_netlist, gen, gen)
+        merge_clocks(ctx)
+        assert len(ctx.merged.generated_clocks()) == 1
+
+    def test_generated_clock_master_mapped(self, three_clock_netlist):
+        ctx = context_for(
+            three_clock_netlist,
+            "create_clock -name x -period 10 [get_ports clk1]",
+            "create_clock -name y -period 10 [get_ports clk1]\n"
+            "create_generated_clock -name g -source [get_ports clk1] "
+            "-divide_by 2 -master_clock y [get_pins r1/Q]",
+        )
+        merge_clocks(ctx)
+        gen = ctx.merged.generated_clocks()[0]
+        assert gen.master_clock == "x"  # y mapped onto duplicate x

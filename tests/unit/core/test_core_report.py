@@ -1,0 +1,43 @@
+"""Unit tests for merge reporting."""
+
+from repro.core import (
+    format_merge_report,
+    format_merging_run,
+    format_pass_table,
+    merge_all,
+    merge_modes,
+)
+from repro.sdc import parse_mode
+
+CLK = "create_clock -name c -period 10 [get_ports clk]\n"
+
+
+class TestMergeReport:
+    def test_sections_present(self, figure1, cs6_modes):
+        result = merge_modes(figure1, list(cs6_modes))
+        text = format_merge_report(result, show_constraints=True)
+        assert "clock map:" in text
+        assert "dropped constraints:" in text
+        assert "refinement fixes (3):" in text
+        assert "merged mode constraints:" in text
+        assert "set_false_path -to [get_pins rX/D]" in text
+
+    def test_pass_tables(self, figure1, cs6_modes):
+        result = merge_modes(figure1, list(cs6_modes))
+        table1 = format_pass_table(result.outcome.pass1_entries, 1)
+        assert "pass 1" in table1
+        assert "rX/D" in table1
+        table3 = format_pass_table(result.outcome.pass3_entries, 3)
+        assert "inv3/A" in table3
+        empty = format_pass_table([], 2)
+        assert "(no rows)" in empty
+
+
+class TestMergingRunReport:
+    def test_table(self, pipeline_netlist):
+        modes = [parse_mode(CLK, "A"), parse_mode(CLK, "B")]
+        run = merge_all(pipeline_netlist, modes)
+        text = format_merging_run(run)
+        assert "A+B" in text
+        assert "#Modes" in text
+        assert "OK" in text

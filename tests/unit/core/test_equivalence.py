@@ -1,0 +1,69 @@
+"""Unit tests for standalone equivalence checking."""
+
+import pytest
+
+from repro.core import check_mode_equivalence, merge_modes
+from repro.sdc import parse_mode
+
+CLK = "create_clock -name c -period 10 [get_ports clk]\n"
+
+
+class TestCheckModeEquivalence:
+    def test_identical_mode_is_equivalent(self, pipeline_netlist):
+        mode = parse_mode(CLK, "A")
+        candidate = parse_mode(CLK, "cand")
+        report = check_mode_equivalence(pipeline_netlist, [mode], candidate)
+        assert report.equivalent
+        assert "EQUIVALENT" in report.summary()
+
+    def test_over_timing_candidate_caught(self, pipeline_netlist):
+        """Candidate times a path both modes declare false."""
+        mode = parse_mode(CLK + "set_false_path -to [get_pins rB/D]", "A")
+        candidate = parse_mode(CLK, "cand")
+        report = check_mode_equivalence(pipeline_netlist, [mode], candidate)
+        assert not report.equivalent
+        assert report.mismatches
+
+    def test_under_timing_candidate_caught(self, pipeline_netlist):
+        """Candidate false-paths something the individual mode times."""
+        mode = parse_mode(CLK, "A")
+        candidate = parse_mode(
+            CLK + "set_false_path -to [get_pins rB/D]", "cand")
+        report = check_mode_equivalence(pipeline_netlist, [mode], candidate)
+        assert not report.equivalent
+
+    def test_wrong_mcp_caught(self, pipeline_netlist):
+        mode = parse_mode(
+            CLK + "set_multicycle_path 2 -to [get_pins rB/D]", "A")
+        candidate = parse_mode(
+            CLK + "set_multicycle_path 3 -to [get_pins rB/D]", "cand")
+        report = check_mode_equivalence(pipeline_netlist, [mode], candidate)
+        assert not report.equivalent
+
+    def test_rewritten_but_equivalent_constraints(self, pipeline_netlist):
+        """The paper's Section 2 point: different SDC text, same effect."""
+        mode = parse_mode(
+            CLK + "set_false_path -to [get_pins rB/D]", "A")
+        candidate = parse_mode(
+            CLK + "set_false_path -from [get_pins rA/CP]", "cand")
+        # In this netlist all paths to rB/D start at rA/CP, so the two
+        # formulations are behaviourally identical.
+        report = check_mode_equivalence(pipeline_netlist, [mode], candidate)
+        assert report.equivalent
+
+    def test_merge_output_is_equivalent(self, figure1, cs6_modes):
+        result = merge_modes(figure1, list(cs6_modes))
+        report = check_mode_equivalence(
+            figure1, list(cs6_modes), result.merged,
+            clock_maps=result.clock_maps)
+        assert report.equivalent
+
+    def test_clock_map_applied(self, pipeline_netlist):
+        mode = parse_mode("create_clock -name orig -period 10 "
+                          "[get_ports clk]", "A")
+        candidate = parse_mode("create_clock -name renamed -period 10 "
+                               "[get_ports clk]", "cand")
+        report = check_mode_equivalence(
+            pipeline_netlist, [mode], candidate,
+            clock_maps={"A": {"orig": "renamed"}})
+        assert report.equivalent

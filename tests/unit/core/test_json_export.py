@@ -1,0 +1,58 @@
+"""Unit tests for the JSON export of merge results."""
+
+import json
+
+import pytest
+
+from repro.core import merge_all, merge_modes
+from repro.sdc import parse_mode
+
+CLK = "create_clock -name c -period 10 [get_ports clk]\n"
+
+
+class TestMergeResultToDict:
+    @pytest.fixture
+    def result(self, figure1, cs6_modes):
+        return merge_modes(figure1, list(cs6_modes))
+
+    def test_json_serializable(self, result):
+        payload = json.dumps(result.to_dict())
+        assert "A+B" in payload
+
+    def test_fields(self, result):
+        record = result.to_dict()
+        assert record["merged_mode"] == "A+B"
+        assert record["individual_modes"] == ["A", "B"]
+        assert record["ok"] is True
+        assert record["validation"]["ran"] is True
+        assert record["validation"]["mismatches"] == []
+        assert len(record["refinement_fixes"]) == 3
+        assert "set_false_path -to [get_pins rX/D]" \
+            in record["refinement_fixes"]
+        assert record["clock_maps"]["B"]["clkA"] == "clkA"
+
+    def test_step_records(self, result):
+        record = result.to_dict()
+        names = [s["name"] for s in record["steps"]]
+        assert "clock union (3.1.1)" in names
+        dropped = sum(s["dropped"] for s in record["steps"])
+        assert dropped == 5  # the five CS6 false paths
+
+
+class TestMergingRunToDict:
+    def test_run_record(self, pipeline_netlist):
+        modes = [
+            parse_mode(CLK + "set_input_transition 0.1 [get_ports in1]", "A"),
+            parse_mode(CLK + "set_input_transition 0.1 [get_ports in1]", "B"),
+            parse_mode(CLK + "set_input_transition 0.9 [get_ports in1]", "C"),
+        ]
+        run = merge_all(pipeline_netlist, modes)
+        record = run.to_dict()
+        json.dumps(record)  # serializable
+        assert record["individual_modes"] == 3
+        assert record["merged_modes"] == 2
+        assert record["reduction_percent"] == pytest.approx(33.333, abs=0.01)
+        assert len(record["groups"]) == 2
+        merged_group = next(g for g in record["groups"] if g["merged"])
+        assert merged_group["result"]["ok"]
+        assert record["non_mergeable_reasons"]  # A|C, B|C conflicts

@@ -1,0 +1,132 @@
+"""Unit tests for the cell library (functions, arcs, ternary logic)."""
+
+import pytest
+
+from repro.errors import UnknownCellError
+from repro.netlist.cells import (
+    ArcKind,
+    GENERIC_LIB,
+    LOGIC_X,
+    PinDirection,
+    Unateness,
+    generic_library,
+)
+
+
+class TestLibraryLookup:
+    def test_all_expected_cells_present(self):
+        expected = {"INV", "BUF", "AND2", "AND3", "OR2", "OR3", "NAND2",
+                    "NOR2", "XOR2", "XNOR2", "MUX2", "DFF", "DFFQN", "SDFF",
+                    "LATCH", "ICG", "TIE0", "TIE1"}
+        assert expected <= set(GENERIC_LIB.names())
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(UnknownCellError):
+            GENERIC_LIB.get("NOT_A_CELL")
+
+    def test_contains(self):
+        assert "DFF" in GENERIC_LIB
+        assert "MISSING" not in GENERIC_LIB
+
+    def test_fresh_library_is_independent(self):
+        lib = generic_library()
+        assert lib is not GENERIC_LIB
+        assert set(lib.names()) == set(GENERIC_LIB.names())
+
+
+class TestCombinationalFunctions:
+    @pytest.mark.parametrize("a,expected", [(0, 1), (1, 0), (LOGIC_X, LOGIC_X)])
+    def test_inv(self, a, expected):
+        assert GENERIC_LIB.get("INV").evaluate("Z", {"A": a}) == expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 0), (0, 1, 0), (1, 1, 1),
+        (0, LOGIC_X, 0),          # controlling value dominates X
+        (1, LOGIC_X, LOGIC_X),
+    ])
+    def test_and2(self, a, b, expected):
+        assert GENERIC_LIB.get("AND2").evaluate("Z", {"A": a, "B": b}) == expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 0), (1, 0, 1), (1, 1, 1),
+        (1, LOGIC_X, 1),
+        (0, LOGIC_X, LOGIC_X),
+    ])
+    def test_or2(self, a, b, expected):
+        assert GENERIC_LIB.get("OR2").evaluate("Z", {"A": a, "B": b}) == expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 0), (0, 1, 1), (1, 1, 0), (LOGIC_X, 1, LOGIC_X),
+    ])
+    def test_xor2(self, a, b, expected):
+        assert GENERIC_LIB.get("XOR2").evaluate("Z", {"A": a, "B": b}) == expected
+
+    def test_nand_nor_are_complements(self):
+        nand = GENERIC_LIB.get("NAND2")
+        nor = GENERIC_LIB.get("NOR2")
+        for a in (0, 1):
+            for b in (0, 1):
+                assert nand.evaluate("Z", {"A": a, "B": b}) == 1 - (a & b)
+                assert nor.evaluate("Z", {"A": a, "B": b}) == 1 - (a | b)
+
+
+class TestMux:
+    def test_select_zero_passes_a(self):
+        mux = GENERIC_LIB.get("MUX2")
+        assert mux.evaluate("Z", {"S": 0, "A": 1, "B": 0}) == 1
+
+    def test_select_one_passes_b(self):
+        mux = GENERIC_LIB.get("MUX2")
+        assert mux.evaluate("Z", {"S": 1, "A": 1, "B": 0}) == 0
+
+    def test_unknown_select_equal_inputs(self):
+        mux = GENERIC_LIB.get("MUX2")
+        assert mux.evaluate("Z", {"S": LOGIC_X, "A": 1, "B": 1}) == 1
+
+    def test_unknown_select_different_inputs(self):
+        mux = GENERIC_LIB.get("MUX2")
+        assert mux.evaluate("Z", {"S": LOGIC_X, "A": 1, "B": 0}) == LOGIC_X
+
+
+class TestClockGate:
+    def test_disabled_gate_is_constant_zero(self):
+        icg = GENERIC_LIB.get("ICG")
+        assert icg.evaluate("ECK", {"EN": 0, "CP": LOGIC_X}) == 0
+
+    def test_enabled_gate_follows_clock(self):
+        icg = GENERIC_LIB.get("ICG")
+        assert icg.evaluate("ECK", {"EN": 1, "CP": 1}) == 1
+        assert icg.evaluate("ECK", {"EN": 1, "CP": LOGIC_X}) == LOGIC_X
+
+
+class TestTieCells:
+    def test_tie_values(self):
+        assert GENERIC_LIB.get("TIE0").evaluate("Z", {}) == 0
+        assert GENERIC_LIB.get("TIE1").evaluate("Z", {}) == 1
+
+
+class TestSequentialMetadata:
+    def test_dff_structure(self):
+        dff = GENERIC_LIB.get("DFF")
+        assert dff.is_sequential
+        assert dff.clock_pin == "CP"
+        assert dff.data_pins == ("D",)
+        assert dff.output_pins_seq == ("Q",)
+        kinds = {(a.from_pin, a.to_pin): a.kind for a in dff.arcs}
+        assert kinds[("CP", "Q")] is ArcKind.LAUNCH
+        assert kinds[("D", "CP")] is ArcKind.CHECK
+
+    def test_latch_flag(self):
+        latch = GENERIC_LIB.get("LATCH")
+        assert latch.is_latch and latch.is_sequential
+
+    def test_dffqn_negative_unate_arc(self):
+        dffqn = GENERIC_LIB.get("DFFQN")
+        senses = {(a.from_pin, a.to_pin): a.unateness for a in dffqn.arcs}
+        assert senses[("CP", "QN")] is Unateness.NEGATIVE
+
+    def test_pin_directions(self):
+        dff = GENERIC_LIB.get("DFF")
+        assert dff.pin("D").direction is PinDirection.INPUT
+        assert dff.pin("Q").direction is PinDirection.OUTPUT
+        assert dff.pin("CP").is_clock

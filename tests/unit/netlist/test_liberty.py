@@ -1,0 +1,196 @@
+"""Unit tests for the Liberty (.lib) subset reader."""
+
+import pytest
+
+from repro.netlist import LOGIC_X, NetlistBuilder, validate
+from repro.netlist.cells import ArcKind, Unateness
+from repro.netlist.liberty import (
+    LibertySyntaxError,
+    compile_function,
+    parse_liberty,
+    read_liberty,
+)
+
+SMALL_LIB = """
+/* a tiny library */
+library (tiny) {
+  time_unit : "1ns";
+  cell (INVX1) {
+    area : 1.0;
+    pin (A) { direction : input; }
+    pin (Y) { direction : output; function : "!A"; }
+  }
+  cell (AOI21) {
+    area : 2.5;
+    pin (A) { direction : input; }
+    pin (B) { direction : input; }
+    pin (C) { direction : input; }
+    pin (Y) { direction : output; function : "!((A & B) | C)"; }
+  }
+  cell (XOR2X1) {
+    area : 3.0;
+    pin (A) { direction : input; }
+    pin (B) { direction : input; }
+    pin (Y) { direction : output; function : "A ^ B"; }
+  }
+  cell (DFFX1) {
+    area : 6.0;
+    ff (IQ, IQN) {
+      next_state : "D";
+      clocked_on : "CK";
+    }
+    pin (D)  { direction : input; }
+    pin (CK) { direction : input; clock : true; }
+    pin (Q)  { direction : output; function : "IQ"; }
+    pin (QN) { direction : output; function : "IQ'"; }
+  }
+  cell (DFFNX1) {
+    area : 6.0;
+    ff (IQ, IQN) {
+      next_state : "D";
+      clocked_on : "!CKN";
+    }
+    pin (D)   { direction : input; }
+    pin (CKN) { direction : input; clock : true; }
+    pin (Q)   { direction : output; function : "IQ"; }
+  }
+}
+"""
+
+
+class TestGroupParsing:
+    def test_structure(self):
+        root = parse_liberty(SMALL_LIB)
+        assert root.name == "library" and root.args == ["tiny"]
+        assert len(root.groups("cell")) == 5
+        assert root.get("time_unit") == "1ns"
+
+    def test_comments_skipped(self):
+        root = parse_liberty("library (x) { // line\n /* block */ }")
+        assert root.args == ["x"]
+
+    def test_not_a_library_rejected(self):
+        with pytest.raises(LibertySyntaxError):
+            parse_liberty("cell (x) { }")
+
+    def test_missing_brace_rejected(self):
+        with pytest.raises((LibertySyntaxError, IndexError)):
+            parse_liberty("library (x) ;")
+
+
+class TestFunctionCompiler:
+    @pytest.mark.parametrize("text,inputs,expected", [
+        ("!A", {"A": 1}, 0),
+        ("A & B", {"A": 1, "B": 1}, 1),
+        ("A | B", {"A": 0, "B": 0}, 0),
+        ("A ^ B", {"A": 1, "B": 0}, 1),
+        ("!((A & B) | C)", {"A": 1, "B": 1, "C": 0}, 0),
+        ("A'", {"A": 0}, 1),
+        ("A B", {"A": 1, "B": 1}, 1),          # adjacency = AND
+        ("A + B", {"A": 1, "B": 0}, 1),        # '+' = OR
+        ("A * B", {"A": 1, "B": 0}, 0),        # '*' = AND
+    ])
+    def test_evaluation(self, text, inputs, expected):
+        evaluate, _ = compile_function(text)
+        assert evaluate(inputs) == expected
+
+    def test_ternary_semantics(self):
+        evaluate, _ = compile_function("A & B")
+        assert evaluate({"A": 0, "B": LOGIC_X}) == 0
+        assert evaluate({"A": 1, "B": LOGIC_X}) == LOGIC_X
+
+    def test_variables_collected(self):
+        _, variables = compile_function("!((A & B) | C)")
+        assert variables == ["A", "B", "C"]
+
+    def test_bad_expression(self):
+        with pytest.raises(LibertySyntaxError):
+            compile_function("A &")
+
+
+class TestCellConstruction:
+    @pytest.fixture(scope="class")
+    def library(self):
+        return read_liberty(SMALL_LIB)
+
+    def test_cells_present(self, library):
+        assert set(library.names()) \
+            == {"INVX1", "AOI21", "XOR2X1", "DFFX1", "DFFNX1"}
+
+    def test_inverter_unateness(self, library):
+        inv = library.get("INVX1")
+        assert inv.arcs[0].unateness is Unateness.NEGATIVE
+        assert inv.evaluate("Y", {"A": 0}) == 1
+
+    def test_aoi_unateness(self, library):
+        aoi = library.get("AOI21")
+        senses = {a.from_pin: a.unateness for a in aoi.arcs}
+        assert senses["A"] is Unateness.NEGATIVE
+        assert senses["C"] is Unateness.NEGATIVE
+
+    def test_xor_non_unate(self, library):
+        xor = library.get("XOR2X1")
+        assert all(a.unateness is Unateness.NON_UNATE for a in xor.arcs)
+
+    def test_dff_metadata(self, library):
+        dff = library.get("DFFX1")
+        assert dff.is_sequential
+        assert dff.clock_pin == "CK"
+        assert dff.data_pins == ("D",)
+        assert set(dff.output_pins_seq) == {"Q", "QN"}
+        assert dff.active_edge == "r"
+        launches = {(a.from_pin, a.to_pin): a.unateness for a in dff.arcs
+                    if a.kind is ArcKind.LAUNCH}
+        assert launches[("CK", "Q")] is Unateness.POSITIVE
+        assert launches[("CK", "QN")] is Unateness.NEGATIVE
+
+    def test_negedge_dff(self, library):
+        dffn = library.get("DFFNX1")
+        assert dffn.active_edge == "f"
+        assert dffn.clock_pin == "CKN"
+
+    def test_area_scales_delay(self, library):
+        assert library.get("AOI21").base_delay \
+            > library.get("INVX1").base_delay
+
+
+class TestEndToEndWithLibertyCells:
+    def test_design_on_liberty_library(self):
+        from repro.sdc import parse_mode
+        from repro.timing import BoundMode, run_sta
+
+        library = read_liberty(SMALL_LIB)
+        b = NetlistBuilder("chip", library)
+        b.inputs("ck", "d1", "d2")
+        r1 = b.gate("DFFX1", "r1", output_pin="Q", D="d1", CK="ck")
+        aoi = b.gate("AOI21", "u1", output_pin="Y",
+                     A=r1.q, B="d2", C="d1")
+        b.gate("DFFX1", "r2", output_pin="Q", D=aoi.out, CK="ck")
+        netlist = b.build()
+        assert validate(netlist).ok
+
+        bound = BoundMode(netlist, parse_mode(
+            "create_clock -name c -period 10 [get_ports ck]"))
+        result = run_sta(bound)
+        assert "r2/D" in result.endpoint_slacks
+
+    def test_merge_on_liberty_library(self):
+        from repro.core import merge_modes
+        from repro.sdc import parse_mode
+
+        library = read_liberty(SMALL_LIB)
+        b = NetlistBuilder("chip", library)
+        b.inputs("ck", "d1")
+        r1 = b.gate("DFFX1", "r1", output_pin="Q", D="d1", CK="ck")
+        inv = b.gate("INVX1", "u1", output_pin="Y", A=r1.q)
+        b.gate("DFFX1", "r2", output_pin="Q", D=inv.out, CK="ck")
+        netlist = b.build()
+
+        mode_a = parse_mode(
+            "create_clock -name c -period 10 [get_ports ck]\n"
+            "set_false_path -to [get_pins r2/D]", "A")
+        mode_b = parse_mode(
+            "create_clock -name c -period 10 [get_ports ck]\n"
+            "set_false_path -from [get_pins r1/CK]", "B")
+        result = merge_modes(netlist, [mode_a, mode_b])
+        assert result.ok

@@ -1,0 +1,65 @@
+"""Unit tests for netlist validation."""
+
+from repro.netlist import Netlist, NetlistBuilder, PinDirection, validate
+
+
+class TestCleanDesigns:
+    def test_clean(self, pipeline_netlist):
+        report = validate(pipeline_netlist)
+        assert report.ok
+        assert report.errors == []
+
+    def test_summary_format(self, pipeline_netlist):
+        text = validate(pipeline_netlist).summary()
+        assert "0 errors" in text
+
+
+class TestErrors:
+    def test_floating_input_pin(self):
+        netlist = Netlist("t")
+        netlist.add_instance("u1", "INV")
+        report = validate(netlist)
+        assert any("u1/A" in e for e in report.errors)
+
+    def test_undriven_net_with_loads(self):
+        netlist = Netlist("t")
+        netlist.add_instance("u1", "INV")
+        net = netlist.add_net("n1")
+        net.connect_load(netlist.instance("u1").pin("A"))
+        report = validate(netlist)
+        assert any("no driver" in e for e in report.errors)
+
+    def test_combinational_loop_detected(self):
+        b = NetlistBuilder("t")
+        b.input("a")
+        # u1 -> u2 -> u1 loop, closed manually.
+        u1 = b.gate("OR2", "u1", A="a")
+        u2 = b.inv("u2", u1.out)
+        b.connect(u2.out, "u1/B")
+        report = validate(b.build())
+        assert any("loop" in e for e in report.errors)
+
+    def test_sequential_break_is_not_a_loop(self):
+        b = NetlistBuilder("t")
+        b.inputs("clk", "d")
+        reg = b.dff("r1", clk="clk")
+        inv = b.inv("u1", reg.q)
+        b.connect(inv.out, "r1/D")
+        report = validate(b.build())
+        assert not any("loop" in e for e in report.errors)
+
+
+class TestWarnings:
+    def test_dangling_driver_warns(self):
+        b = NetlistBuilder("t")
+        b.input("a")
+        b.inv("u1", "a")  # output unloaded
+        report = validate(b.build())
+        assert report.ok  # warnings only
+        assert any("no loads" in w for w in report.warnings)
+
+    def test_unconnected_output_port_warns(self):
+        netlist = Netlist("t")
+        netlist.add_port("z", PinDirection.OUTPUT)
+        report = validate(netlist)
+        assert any("out" in w.lower() for w in report.warnings)

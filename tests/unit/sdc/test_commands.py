@@ -1,0 +1,112 @@
+"""Unit tests for the constraint object model (keys, renaming, specs)."""
+
+from repro.sdc import (
+    CreateClock,
+    CreateGeneratedClock,
+    ObjectRef,
+    PathSpec,
+    RefKind,
+    SetClockGroups,
+    SetClockLatency,
+    SetFalsePath,
+    SetInputDelay,
+    SetMulticyclePath,
+)
+
+
+class TestObjectRef:
+    def test_normalized_sorts_and_dedupes(self):
+        ref = ObjectRef.pins("b", "a", "b")
+        assert ref.normalized().patterns == ("a", "b")
+
+    def test_rename_clocks_only_affects_clock_refs(self):
+        mapping = {"a": "a_1"}
+        assert ObjectRef.clocks("a").rename_clocks(mapping).patterns == ("a_1",)
+        assert ObjectRef.pins("a").rename_clocks(mapping).patterns == ("a",)
+
+    def test_str_forms(self):
+        assert str(ObjectRef.ports("x")) == "[get_ports {x}]"
+        assert str(ObjectRef.auto("x")) == "x"
+
+    def test_constructors(self):
+        assert ObjectRef.cells("c").kind is RefKind.CELL
+        assert ObjectRef.nets("n").kind is RefKind.NET
+
+
+class TestClockIdentity:
+    def test_signature_excludes_name(self):
+        a = CreateClock("x", 10.0, sources=ObjectRef.ports("clk"))
+        b = CreateClock("y", 10.0, sources=ObjectRef.ports("clk"))
+        assert a.signature() == b.signature()
+        assert a.key() != b.key()
+
+    def test_signature_includes_waveform(self):
+        a = CreateClock("x", 10.0, waveform=(0, 5),
+                        sources=ObjectRef.ports("clk"))
+        b = CreateClock("x", 10.0, waveform=(2, 7),
+                        sources=ObjectRef.ports("clk"))
+        assert a.signature() != b.signature()
+
+    def test_renamed(self):
+        clock = CreateClock("x", 10.0)
+        assert clock.renamed("z").name == "z"
+
+    def test_generated_master_rename(self):
+        gen = CreateGeneratedClock(
+            "g", source=ObjectRef.ports("clk"), master_clock="m")
+        assert gen.rename_clocks({"m": "m_1"}).master_clock == "m_1"
+
+
+class TestKeys:
+    def test_latency_key_separates_min_max(self):
+        lo = SetClockLatency(0.1, ObjectRef.clocks("c"), min_flag=True)
+        hi = SetClockLatency(0.1, ObjectRef.clocks("c"), max_flag=True)
+        assert lo.key() != hi.key()
+
+    def test_latency_key_ignores_value(self):
+        a = SetClockLatency(0.1, ObjectRef.clocks("c"), min_flag=True)
+        b = SetClockLatency(0.9, ObjectRef.clocks("c"), min_flag=True)
+        assert a.key() == b.key()
+
+    def test_input_delay_key_includes_clock(self):
+        a = SetInputDelay(1.0, ObjectRef.ports("i"), clock="a")
+        b = SetInputDelay(1.0, ObjectRef.ports("i"), clock="b")
+        assert a.key() != b.key()
+
+    def test_mcp_multiplier_is_identity(self):
+        spec = PathSpec(to_refs=(ObjectRef.pins("r/D"),))
+        assert SetMulticyclePath(2, spec).key() \
+            != SetMulticyclePath(3, spec).key()
+
+    def test_clock_groups_key_order_insensitive(self):
+        a = SetClockGroups(groups=(("x", "y"), ("z",)))
+        b = SetClockGroups(groups=(("y", "x"), ("z",)))
+        assert a.key() == b.key()
+
+
+class TestPathSpec:
+    def test_clock_name_helpers(self):
+        spec = PathSpec(
+            from_refs=(ObjectRef.clocks("a"), ObjectRef.pins("p/CP")),
+            to_refs=(ObjectRef.clocks("b"),),
+        )
+        assert spec.from_clock_names() == ("a",)
+        assert spec.to_clock_names() == ("b",)
+
+    def test_is_empty(self):
+        assert PathSpec().is_empty
+        assert not PathSpec(through_refs=(ObjectRef.pins("x/Z"),)).is_empty
+
+    def test_rename_clocks_through_spec(self):
+        spec = PathSpec(from_refs=(ObjectRef.clocks("a"),))
+        fp = SetFalsePath(spec=spec)
+        renamed = fp.rename_clocks({"a": "a_1"})
+        assert renamed.spec.from_clock_names() == ("a_1",)
+        # Frozen dataclasses: the original is untouched.
+        assert fp.spec.from_clock_names() == ("a",)
+
+    def test_normalized_keeps_through_order(self):
+        spec = PathSpec(through_refs=(ObjectRef.pins("b"), ObjectRef.pins("a")))
+        normalized = spec.normalized()
+        assert [r.patterns for r in normalized.through_refs] \
+            == [("b",), ("a",)]

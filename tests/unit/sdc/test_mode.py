@@ -1,0 +1,84 @@
+"""Unit tests for the Mode / ModeSet containers."""
+
+import pytest
+
+from repro.sdc import Mode, ModeSet, parse_mode
+
+
+@pytest.fixture
+def sample():
+    return parse_mode("""
+create_clock -name a -period 10 [get_ports c1]
+create_generated_clock -name g -source [get_ports c1] -divide_by 2 [get_pins r/Q]
+set_case_analysis 0 sel
+set_disable_timing [get_ports sel]
+set_false_path -to [get_pins r/D]
+set_multicycle_path 2 -to [get_pins r/D]
+set_max_delay 4 -to [get_pins r/D]
+set_min_delay 1 -to [get_pins r/D]
+set_input_delay 1 -clock a [get_ports in1]
+set_output_delay 1 -clock a [get_ports out1]
+set_clock_groups -physically_exclusive -group {a} -group {g}
+set_clock_sense -stop_propagation -clocks [get_clocks a] [get_pins m/Z]
+""", "sample")
+
+
+class TestAccessors:
+    def test_typed_accessors(self, sample):
+        assert len(sample.clocks()) == 1
+        assert len(sample.generated_clocks()) == 1
+        assert sample.clock_names() == ["a", "g"]
+        assert len(sample.case_analyses()) == 1
+        assert len(sample.disable_timings()) == 1
+        assert len(sample.false_paths()) == 1
+        assert len(sample.multicycle_paths()) == 1
+        assert len(sample.max_delays()) == 1
+        assert len(sample.min_delays()) == 1
+        assert len(sample.exceptions()) == 4
+        assert len(sample.input_delays()) == 1
+        assert len(sample.output_delays()) == 1
+        assert len(sample.clock_groups()) == 1
+        assert len(sample.clock_senses()) == 1
+
+    def test_clock_by_name(self, sample):
+        assert sample.clock_by_name("a").period == 10
+        assert sample.clock_by_name("missing") is None
+
+    def test_histogram(self, sample):
+        hist = sample.histogram()
+        assert hist["create_clock"] == 1
+        assert hist["set_false_path"] == 1
+
+    def test_len_and_iter(self, sample):
+        assert len(sample) == 12
+        assert len(list(sample)) == 12
+
+
+class TestMutation:
+    def test_add_remove_replace(self, sample):
+        fp = sample.false_paths()[0]
+        sample.remove(fp)
+        assert sample.false_paths() == []
+        mcp = sample.multicycle_paths()[0]
+        sample.replace(mcp, fp)
+        assert sample.false_paths() == [fp]
+        assert sample.multicycle_paths() == []
+
+    def test_copy_shares_nothing_on_add(self, sample):
+        clone = sample.copy("clone")
+        clone.add(sample.clocks()[0])
+        assert len(clone) == len(sample) + 1
+
+
+class TestModeSet:
+    def test_basic(self, sample):
+        modes = ModeSet([sample])
+        assert "sample" in modes
+        assert modes.get("sample") is sample
+        assert modes.names == ["sample"]
+        assert len(modes) == 1
+
+    def test_duplicate_rejected(self, sample):
+        modes = ModeSet([sample])
+        with pytest.raises(ValueError):
+            modes.add(Mode("sample"))

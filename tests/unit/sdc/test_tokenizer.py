@@ -1,0 +1,98 @@
+"""Unit tests for the SDC tokenizer."""
+
+import pytest
+
+from repro.errors import SdcSyntaxError
+from repro.sdc import TokenKind, tokenize
+
+
+class TestBasics:
+    def test_single_command(self):
+        commands = tokenize("create_clock -period 10 clk")
+        assert len(commands) == 1
+        assert commands[0].name == "create_clock"
+        assert [t.value for t in commands[0].tokens] == ["-period", "10", "clk"]
+
+    def test_multiple_lines(self):
+        commands = tokenize("cmd_a 1\ncmd_b 2\n")
+        assert [c.name for c in commands] == ["cmd_a", "cmd_b"]
+        assert commands[1].line == 2
+
+    def test_semicolon_separation(self):
+        commands = tokenize("cmd_a 1; cmd_b 2")
+        assert [c.name for c in commands] == ["cmd_a", "cmd_b"]
+
+    def test_comments_stripped(self):
+        commands = tokenize("# full comment\ncmd_a 1 # trailing\n")
+        assert len(commands) == 1
+        assert [t.value for t in commands[0].tokens] == ["1"]
+
+    def test_line_continuation(self):
+        commands = tokenize("cmd_a 1 \\\n  2")
+        assert [t.value for t in commands[0].tokens] == ["1", "2"]
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+        assert tokenize("\n\n# nothing\n") == []
+
+
+class TestBrackets:
+    def test_bracket_token(self):
+        commands = tokenize("cmd [get_ports clk*]")
+        token = commands[0].tokens[0]
+        assert token.kind is TokenKind.BRACKET
+        assert [t.value for t in token.subtokens] == ["get_ports", "clk*"]
+
+    def test_nested_brackets(self):
+        commands = tokenize("cmd [get_pins [all_registers]]")
+        outer = commands[0].tokens[0]
+        assert outer.kind is TokenKind.BRACKET
+        inner = outer.subtokens[1]
+        assert inner.kind is TokenKind.BRACKET
+        assert inner.subtokens[0].value == "all_registers"
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(SdcSyntaxError):
+            tokenize("cmd [get_ports clk")
+
+    def test_unbalanced_close(self):
+        with pytest.raises(SdcSyntaxError):
+            tokenize("cmd clk]")
+
+
+class TestBracesAndStrings:
+    def test_brace_list(self):
+        commands = tokenize("cmd {a b c}")
+        token = commands[0].tokens[0]
+        assert token.kind is TokenKind.BRACE
+        assert token.items == ["a", "b", "c"]
+
+    def test_string(self):
+        commands = tokenize('cmd "hello world"')
+        token = commands[0].tokens[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SdcSyntaxError):
+            tokenize('cmd "open')
+
+    def test_unterminated_brace(self):
+        with pytest.raises(SdcSyntaxError):
+            tokenize("cmd {a b")
+
+    def test_brace_inside_bracket(self):
+        commands = tokenize("cmd [get_ports {a b}]")
+        bracket = commands[0].tokens[0]
+        assert bracket.subtokens[1].items == ["a", "b"]
+
+
+class TestLineNumbers:
+    def test_error_reports_line(self):
+        with pytest.raises(SdcSyntaxError) as err:
+            tokenize("ok 1\nbad [\n")
+        assert err.value.line == 2
+
+    def test_continuation_keeps_first_line(self):
+        commands = tokenize("a 1\nb \\\n 2")
+        assert commands[1].line == 2

@@ -1,0 +1,71 @@
+"""Unit tests for SDC emission (including parse/write round-trips)."""
+
+import pytest
+
+from repro.sdc import Mode, parse_mode, write_constraint, write_mode
+
+ROUND_TRIP_CASES = [
+    "create_clock -name clkA -period 10 [get_ports clk1]",
+    "create_clock -name clkB -period 20 -waveform {0 5} -add [get_ports c]",
+    "create_generated_clock -name div2 -source [get_ports clk] "
+    "-divide_by 2 [get_pins r1/Q]",
+    "set_clock_groups -physically_exclusive -name g "
+    "-group [get_clocks {a}] -group [get_clocks {b}]",
+    "set_clock_latency -min 0.2 [get_clocks clkB]",
+    "set_clock_latency -source -max 1.5 [get_clocks clkA]",
+    "set_clock_uncertainty -setup 0.3 -from [get_clocks a] -to [get_clocks b]",
+    "set_clock_transition -max 0.15 [get_clocks clk]",
+    "set_propagated_clock [get_clocks clkA]",
+    "set_clock_sense -stop_propagation -clocks [get_clocks clkA] "
+    "[get_pins mux1/Z]",
+    "set_input_delay 2 -clock [get_clocks ClkA] [get_ports in1]",
+    "set_output_delay 2 -clock [get_clocks ClkB] -add_delay [get_ports out1]",
+    "set_case_analysis 0 [get_ports sel1]",
+    "set_disable_timing -from A -to Z [get_cells u1]",
+    "set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]",
+    "set_false_path -from [get_clocks clkB] -through [get_pins rB/Q]",
+    "set_multicycle_path 2 -setup -from [get_clocks clkA] "
+    "-through [get_pins rA/CP]",
+    "set_max_delay 5 -from [get_pins a/CP] -to [get_pins b/D]",
+    "set_min_delay 0.5 -to [get_pins b/D]",
+    "set_input_transition 0.2 [get_ports in1]",
+    "set_drive 1.5 [get_ports in1]",
+    "set_driving_cell -lib_cell BUFX4 -pin Z [get_ports in1]",
+    "set_load 0.05 [get_ports out1]",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIP_CASES)
+    def test_parse_write_parse_is_stable(self, text):
+        first = parse_mode(text).constraints[0]
+        written = write_constraint(first)
+        second = parse_mode(written).constraints[0]
+        assert first == second, f"{text!r} -> {written!r}"
+
+    def test_mode_roundtrip(self, cs6_modes):
+        mode_a, _ = cs6_modes
+        text = write_mode(mode_a)
+        reparsed = parse_mode(text, mode_a.name)
+        assert reparsed.constraints == mode_a.constraints
+
+
+class TestFormatting:
+    def test_integers_render_bare(self):
+        text = write_constraint(
+            parse_mode("set_input_delay 2.0 -clock c [get_ports i]")
+            .constraints[0])
+        assert " 2 " in text and "2.0" not in text
+
+    def test_header(self):
+        mode = Mode("fun")
+        text = write_mode(mode)
+        assert text.startswith("# SDC for mode fun")
+
+    def test_no_header(self):
+        text = write_mode(Mode("fun"), header=False)
+        assert "#" not in text
+
+    def test_unwritable_type_raises(self):
+        with pytest.raises(TypeError):
+            write_constraint(object())  # type: ignore[arg-type]

@@ -1,0 +1,57 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        leaves = [
+            errors.UnknownCellError("x"),
+            errors.DuplicateObjectError("port", "p"),
+            errors.ConnectivityError("c"),
+            errors.VerilogSyntaxError("v", 3),
+            errors.SdcSyntaxError("s", 2),
+            errors.SdcCommandError("cmd", "bad", 1),
+            errors.SdcLookupError("l"),
+            errors.CombinationalLoopError(["a", "b"]),
+            errors.NoClockError("n"),
+            errors.NotMergeableError("A", "B", "reason"),
+            errors.RefinementError("r"),
+            errors.EquivalenceError("e"),
+        ]
+        for exc in leaves:
+            assert isinstance(exc, errors.ReproError)
+
+    def test_subsystem_bases(self):
+        assert issubclass(errors.VerilogSyntaxError, errors.NetlistError)
+        assert issubclass(errors.SdcCommandError, errors.SdcError)
+        assert issubclass(errors.CombinationalLoopError, errors.TimingError)
+        assert issubclass(errors.NotMergeableError, errors.MergeError)
+
+    def test_line_numbers_in_messages(self):
+        assert "line 7" in str(errors.SdcSyntaxError("oops", 7))
+        assert "line 7" not in str(errors.SdcSyntaxError("oops"))
+        assert "line 3" in str(errors.VerilogSyntaxError("bad", 3))
+
+    def test_command_error_fields(self):
+        exc = errors.SdcCommandError("create_clock", "missing -period", 9)
+        assert exc.command == "create_clock"
+        assert exc.line == 9
+        assert "create_clock" in str(exc)
+
+    def test_duplicate_object_fields(self):
+        exc = errors.DuplicateObjectError("net", "n1")
+        assert exc.kind == "net" and exc.name == "n1"
+        assert "net 'n1'" in str(exc)
+
+    def test_loop_error_renders_cycle(self):
+        exc = errors.CombinationalLoopError(["u1/Z", "u2/Z"])
+        assert "u1/Z -> u2/Z" in str(exc)
+        assert exc.cycle_pins == ["u1/Z", "u2/Z"]
+
+    def test_not_mergeable_fields(self):
+        exc = errors.NotMergeableError("func", "scan", "clock blocked")
+        assert exc.mode_a == "func" and exc.mode_b == "scan"
+        assert "clock blocked" in str(exc)

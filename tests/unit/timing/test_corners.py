@@ -1,0 +1,78 @@
+"""Unit tests for corners, scenarios and the scenario arithmetic."""
+
+import pytest
+
+from repro.sdc import parse_mode
+from repro.timing import (
+    Corner,
+    DeratedDelayModel,
+    TYPICAL_CORNERS,
+    UnitDelayModel,
+    build_graph,
+    run_scenarios,
+    scenario_reduction,
+)
+
+CLK = "create_clock -name c -period 10 [get_ports clk]\n"
+
+
+class TestDeratedModel:
+    def test_scales_delays(self, pipeline_netlist):
+        graph = build_graph(pipeline_netlist)
+        slow = DeratedDelayModel(UnitDelayModel(), Corner("slow", 1.5))
+        arc = next(a for a in graph.arcs if a.instance is not None)
+        assert slow.arc_delay(graph, arc) == pytest.approx(1.5)
+
+    def test_typical_corner_set(self):
+        names = [c.name for c in TYPICAL_CORNERS]
+        assert names == ["fast", "typ", "slow"]
+        assert TYPICAL_CORNERS[0].derate < 1.0 < TYPICAL_CORNERS[2].derate
+
+
+class TestScenarios:
+    def test_matrix_size(self, pipeline_netlist):
+        modes = [parse_mode(CLK, "A"), parse_mode(CLK, "B")]
+        matrix = run_scenarios(pipeline_netlist, modes,
+                               delay_model=UnitDelayModel())
+        assert matrix.scenario_count == 2 * 3
+        names = {s.name for s in matrix.results}
+        assert "A@slow" in names and "B@fast" in names
+
+    def test_slow_corner_is_worst(self, pipeline_netlist):
+        modes = [parse_mode(CLK, "A")]
+        matrix = run_scenarios(pipeline_netlist, modes,
+                               delay_model=UnitDelayModel())
+        worst = matrix.worst_scenario()
+        assert worst.corner.name == "slow"
+
+    def test_worst_endpoint_slacks_over_matrix(self, pipeline_netlist):
+        modes = [parse_mode(CLK, "A")]
+        matrix = run_scenarios(pipeline_netlist, modes,
+                               delay_model=UnitDelayModel())
+        worst = matrix.worst_endpoint_slacks()
+        slow = next(s for s in matrix.results if s.corner.name == "slow")
+        assert worst["rB/D"] == slow.sta.endpoint_slacks["rB/D"].slack
+
+    def test_summary_lists_scenarios(self, pipeline_netlist):
+        modes = [parse_mode(CLK, "A")]
+        matrix = run_scenarios(pipeline_netlist, modes,
+                               delay_model=UnitDelayModel())
+        text = matrix.summary()
+        assert "A@typ" in text and "3 scenarios" in text
+
+    def test_hold_analysis_passthrough(self, pipeline_netlist):
+        modes = [parse_mode(CLK, "A")]
+        matrix = run_scenarios(pipeline_netlist, modes,
+                               delay_model=UnitDelayModel(),
+                               analyze_hold=True)
+        assert all(s.sta.hold_slacks for s in matrix.results)
+
+
+class TestScenarioArithmetic:
+    def test_reduction(self):
+        before, after, pct = scenario_reduction(95, 16, 4)
+        assert before == 380 and after == 64
+        assert pct == pytest.approx(83.2, abs=0.1)
+
+    def test_zero_modes(self):
+        assert scenario_reduction(0, 0, 4) == (0, 0, 0.0)

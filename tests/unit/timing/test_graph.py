@@ -1,0 +1,72 @@
+"""Unit tests for timing-graph construction."""
+
+import pytest
+
+from repro.errors import CombinationalLoopError
+from repro.netlist import NetlistBuilder
+from repro.timing import ARC_CELL, ARC_LAUNCH, ARC_NET, TimingGraph, build_graph
+
+
+class TestConstruction:
+    def test_nodes_cover_pins_and_ports(self, pipeline_netlist):
+        graph = build_graph(pipeline_netlist)
+        assert graph.node_count == len(pipeline_netlist.ports) + sum(
+            len(i.pins) for i in pipeline_netlist.instances)
+        assert graph.node("rA/Q") != graph.node("rA/D")
+        assert graph.name(graph.node("clk")) == "clk"
+
+    def test_arc_kinds(self, pipeline_netlist):
+        graph = build_graph(pipeline_netlist)
+        kinds = {a.kind for a in graph.arcs}
+        assert kinds == {ARC_NET, ARC_CELL, ARC_LAUNCH}
+        launch = [a for a in graph.arcs if a.kind == ARC_LAUNCH]
+        assert {(graph.name(a.src), graph.name(a.dst)) for a in launch} \
+            == {("rA/CP", "rA/Q"), ("rB/CP", "rB/Q")}
+
+    def test_check_arcs_not_propagation(self, pipeline_netlist):
+        graph = build_graph(pipeline_netlist)
+        # D -> CP check arcs must not appear as propagation arcs.
+        d_node = graph.node("rA/D")
+        assert graph.fanout[d_node] == []
+
+    def test_startpoints_endpoints(self, pipeline_netlist):
+        graph = build_graph(pipeline_netlist)
+        starts = set(graph.names(graph.startpoint_nodes()))
+        ends = set(graph.names(graph.endpoint_nodes()))
+        assert starts == {"clk", "in1", "rA/CP", "rB/CP"}
+        assert ends == {"rA/D", "rB/D", "out1"}
+
+    def test_seq_info(self, pipeline_netlist):
+        graph = build_graph(pipeline_netlist)
+        cp, data, outs = graph.seq_info["rA"]
+        assert graph.name(cp) == "rA/CP"
+        assert graph.names(data) == ["rA/D"]
+        assert graph.names(outs) == ["rA/Q"]
+
+
+class TestTopologicalOrder:
+    def test_topo_respects_arcs(self, figure1):
+        graph = build_graph(figure1)
+        for arc in graph.arcs:
+            assert graph.topo_rank[arc.src] < graph.topo_rank[arc.dst]
+
+    def test_loop_raises(self):
+        b = NetlistBuilder("loop")
+        b.input("a")
+        u1 = b.gate("OR2", "u1", A="a")
+        u2 = b.inv("u2", u1.out)
+        b.connect(u2.out, "u1/B")
+        with pytest.raises(CombinationalLoopError):
+            TimingGraph(b.build())
+
+
+class TestCaching:
+    def test_build_graph_caches_per_netlist(self, pipeline_netlist):
+        assert build_graph(pipeline_netlist) is build_graph(pipeline_netlist)
+
+    def test_cache_invalidated_by_growth(self, pipeline_netlist):
+        first = build_graph(pipeline_netlist)
+        pipeline_netlist.add_instance("extra", "INV")
+        second = build_graph(pipeline_netlist)
+        assert second is not first
+        assert second.node_of("extra/A") is not None

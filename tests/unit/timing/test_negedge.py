@@ -1,0 +1,110 @@
+"""Unit tests for falling-edge flip-flops (DFFN) across the stack."""
+
+import pytest
+
+from repro.netlist import NetlistBuilder
+from repro.sdc import parse_mode
+from repro.timing import (
+    BoundMode,
+    Clock,
+    UnitDelayModel,
+    hold_relation,
+    run_sta,
+    setup_relation,
+)
+
+CLK = "create_clock -name c -period 10 [get_ports clk]\n"
+
+
+@pytest.fixture
+def half_cycle_netlist():
+    """DFF (rising) -> inv -> DFFN (falling): a half-cycle path, and the
+    DFFN launches into a rising-edge capture for the second half."""
+    b = NetlistBuilder("halfcycle")
+    b.inputs("clk", "in1")
+    rPos = b.dff("rPos", d="in1", clk="clk")
+    inv = b.inv("inv1", rPos.q)
+    rNeg = b.dffn("rNeg", d=inv.out, clk="clk")
+    rEnd = b.dff("rEnd", d=rNeg.q, clk="clk")
+    b.output("out1", rEnd.q)
+    return b.build()
+
+
+def clock(period, rise=0.0):
+    return Clock("c", period, (rise, rise + period / 2), frozenset())
+
+
+class TestEdgeRelations:
+    def test_rise_to_fall_is_half_cycle(self):
+        rel = setup_relation(clock(10), clock(10), "r", "f")
+        assert rel == pytest.approx(5.0)
+
+    def test_fall_to_rise_is_half_cycle(self):
+        rel = setup_relation(clock(10), clock(10), "f", "r")
+        assert rel == pytest.approx(5.0)
+
+    def test_fall_to_fall_is_full_cycle(self):
+        rel = setup_relation(clock(10), clock(10), "f", "f")
+        assert rel == pytest.approx(10.0)
+
+    def test_hold_same_edges_zero(self):
+        assert hold_relation(clock(10), clock(10), "f", "f") \
+            == pytest.approx(0.0)
+
+    def test_hold_rise_launch_fall_capture(self):
+        # Launch at 0, previous falling capture edge at -5.
+        assert hold_relation(clock(10), clock(10), "r", "f") \
+            == pytest.approx(-5.0)
+
+
+class TestNegedgeSta:
+    def test_half_cycle_required_time(self, half_cycle_netlist):
+        bound = BoundMode(half_cycle_netlist, parse_mode(CLK))
+        result = run_sta(bound, UnitDelayModel(), setup_time=0.0)
+        # rPos (rise) -> rNeg (fall capture): required = 5.
+        row = result.endpoint_slacks["rNeg/D"]
+        assert row.required == pytest.approx(5.0)
+        assert row.arrival == pytest.approx(2.0)  # ck2q + inv
+        assert row.slack == pytest.approx(3.0)
+
+    def test_negedge_launch_offset(self, half_cycle_netlist):
+        bound = BoundMode(half_cycle_netlist, parse_mode(CLK))
+        result = run_sta(bound, UnitDelayModel(), setup_time=0.0)
+        # rNeg launches at the fall edge (t=5): arrival 5 + 1 (ck2q) = 6;
+        # capture at rEnd rising edge: relation fall->rise = 5, so the
+        # required time is 5 + 5 = 10.
+        row = result.endpoint_slacks["rEnd/D"]
+        assert row.arrival == pytest.approx(6.0)
+        assert row.required == pytest.approx(10.0)
+        assert row.slack == pytest.approx(4.0)
+
+    def test_fall_from_clock_exception_matches_negedge_launch(
+            self, half_cycle_netlist):
+        bound = BoundMode(half_cycle_netlist, parse_mode(
+            CLK + "set_false_path -fall_from [get_clocks c]"))
+        result = run_sta(bound, UnitDelayModel())
+        # Only the DFFN launch is a falling-edge launch: rEnd/D untimed.
+        assert "rEnd/D" not in result.endpoint_slacks
+        assert "rNeg/D" in result.endpoint_slacks
+
+    def test_fall_to_clock_exception_matches_negedge_capture(
+            self, half_cycle_netlist):
+        bound = BoundMode(half_cycle_netlist, parse_mode(
+            CLK + "set_false_path -fall_to [get_clocks c]"))
+        result = run_sta(bound, UnitDelayModel())
+        # Only rNeg captures on the falling edge.
+        assert "rNeg/D" not in result.endpoint_slacks
+        assert "rEnd/D" in result.endpoint_slacks
+
+
+class TestNegedgeMerging:
+    def test_negedge_design_merges(self, half_cycle_netlist):
+        from repro.core import merge_modes
+
+        mode_a = parse_mode(
+            CLK + "set_false_path -fall_from [get_clocks c]", "A")
+        mode_b = parse_mode(
+            CLK + "set_false_path -fall_from [get_clocks c]", "B")
+        result = merge_modes(half_cycle_netlist, [mode_a, mode_b])
+        assert result.ok
+        assert len(result.merged.false_paths()) == 1

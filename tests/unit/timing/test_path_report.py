@@ -1,0 +1,48 @@
+"""Unit tests for the report_timing-style path report."""
+
+from repro.sdc import parse_mode
+from repro.timing import BoundMode, UnitDelayModel, format_path_report
+
+
+def bound_for(netlist, sdc):
+    return BoundMode(netlist, parse_mode(sdc, "m"))
+
+
+class TestPathReport:
+    def test_single_path(self, pipeline_netlist):
+        bound = bound_for(pipeline_netlist,
+                          "create_clock -name c -period 10 [get_ports clk]")
+        text = format_path_report(bound, "rA/CP", "rB/D", UnitDelayModel())
+        assert "launch c -> capture c" in text
+        assert "state V" in text
+        assert "delay 2.000" in text
+        assert "inv1/Z" in text
+
+    def test_worst_path_first(self, reconvergent_netlist):
+        bound = bound_for(reconvergent_netlist,
+                          "create_clock -name c -period 10 [get_ports clk]")
+        text = format_path_report(bound, "rS/CP", "rE/D", UnitDelayModel())
+        # Both 3.0-delay paths (buf branch and inv branch) present.
+        assert text.count("delay 3.000") == 2
+        assert "p1/A" in text and "p2/A" in text
+
+    def test_states_shown_per_path(self, reconvergent_netlist):
+        bound = bound_for(reconvergent_netlist, """
+            create_clock -name c -period 10 [get_ports clk]
+            set_false_path -through [get_pins p2/Z]
+        """)
+        text = format_path_report(bound, "rS/CP", "rE/D", UnitDelayModel())
+        assert "state FP" in text and "state V" in text
+
+    def test_no_paths_message(self, pipeline_netlist):
+        bound = bound_for(pipeline_netlist,
+                          "create_clock -name c -period 10 [get_ports clk]")
+        text = format_path_report(bound, "rB/CP", "rA/D", UnitDelayModel())
+        assert "No live paths" in text
+
+    def test_max_paths_truncation(self, reconvergent_netlist):
+        bound = bound_for(reconvergent_netlist,
+                          "create_clock -name c -period 10 [get_ports clk]")
+        text = format_path_report(bound, "rS/CP", "rE/D", UnitDelayModel(),
+                                  max_paths=1)
+        assert "1 more paths" in text

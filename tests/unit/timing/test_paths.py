@@ -1,0 +1,88 @@
+"""Unit tests for path enumeration (the relationship oracle)."""
+
+import pytest
+
+from repro.sdc import parse_mode
+from repro.timing import (
+    BoundMode,
+    FALSE,
+    RelationshipExtractor,
+    VALID,
+    endpoint_states_by_enumeration,
+    enumerate_paths,
+    named_endpoint_rows,
+    path_state,
+)
+
+
+def bound_for(netlist, sdc):
+    return BoundMode(netlist, parse_mode(sdc))
+
+
+class TestEnumeration:
+    def test_two_paths_through_reconvergence(self, reconvergent_netlist):
+        bound = bound_for(reconvergent_netlist,
+                          "create_clock -name c -period 10 [get_ports clk]")
+        graph = bound.graph
+        paths = list(enumerate_paths(bound, graph.node("rS/CP"),
+                                     graph.node("rE/D")))
+        assert len(paths) == 2
+        node_seqs = {tuple(graph.names(p.nodes)) for p in paths}
+        assert any("p1/A" in seq for seq in node_seqs)
+        assert any("p2/A" in seq for seq in node_seqs)
+
+    def test_paths_start_at_startpoint(self, pipeline_netlist):
+        bound = bound_for(pipeline_netlist,
+                          "create_clock -name c -period 10 [get_ports clk]")
+        graph = bound.graph
+        paths = list(enumerate_paths(bound, graph.node("rA/CP"),
+                                     graph.node("rB/D")))
+        assert len(paths) == 1
+        assert graph.name(paths[0].nodes[0]) == "rA/CP"
+        assert paths[0].launch_clock == "c"
+
+    def test_no_clock_no_paths(self, pipeline_netlist):
+        bound = bound_for(pipeline_netlist, "set_case_analysis 0 in1")
+        graph = bound.graph
+        paths = list(enumerate_paths(bound, graph.node("rA/CP"),
+                                     graph.node("rB/D")))
+        assert paths == []
+
+    def test_limit_enforced(self, reconvergent_netlist):
+        bound = bound_for(reconvergent_netlist,
+                          "create_clock -name c -period 10 [get_ports clk]")
+        graph = bound.graph
+        with pytest.raises(RuntimeError):
+            list(enumerate_paths(bound, graph.node("rS/CP"),
+                                 graph.node("rE/D"), limit=1))
+
+
+class TestPathState:
+    def test_through_matching_per_path(self, reconvergent_netlist):
+        bound = bound_for(reconvergent_netlist, """
+            create_clock -name c -period 10 [get_ports clk]
+            set_false_path -through [get_pins p2/Z]
+        """)
+        graph = bound.graph
+        states = {}
+        for path in enumerate_paths(bound, graph.node("rS/CP"),
+                                    graph.node("rE/D")):
+            key = "p2" if any(graph.name(n).startswith("p2")
+                              for n in path.nodes) else "p1"
+            states[key] = path_state(bound, path)
+        assert states["p2"] == FALSE
+        assert states["p1"] == VALID
+
+
+class TestOracleAgreement:
+    def test_enumeration_matches_tag_propagation(self, figure1, cs1_mode):
+        """The oracle and the tag engine must agree on Figure 1 + CS1."""
+        bound = BoundMode(figure1, cs1_mode)
+        rows = named_endpoint_rows(
+            bound, RelationshipExtractor(bound).endpoint_relationships())
+        graph = bound.graph
+        for ep_name in ("rX/D", "rY/D", "rZ/D"):
+            oracle = endpoint_states_by_enumeration(
+                bound, graph.node(ep_name))
+            for (lc, cc), states in oracle.items():
+                assert rows[(ep_name, lc, cc)] == states

@@ -1,0 +1,53 @@
+"""Unit tests for timing report formatting."""
+
+from repro.sdc import parse_mode
+from repro.timing import (
+    BoundMode,
+    RelationshipExtractor,
+    format_comparison_table,
+    format_relationship_table,
+    format_slack_report,
+    format_table,
+    named_endpoint_rows,
+    run_sta,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Banana"], [["xx", "1"], ["y", "22"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A ")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equal width
+
+
+class TestRelationshipTable:
+    def test_contains_states(self, figure1, cs1_mode):
+        bound = BoundMode(figure1, cs1_mode)
+        rows = named_endpoint_rows(
+            bound, RelationshipExtractor(bound).endpoint_relationships())
+        text = format_relationship_table(rows)
+        assert "MCP(2)" in text and "FP" in text
+        assert "rX/D" in text and "clkA" in text
+
+
+class TestComparisonTable:
+    def test_through_column_optional(self):
+        rows = [{"Start point": "a", "End point": "b", "Result": "M"}]
+        text = format_comparison_table(rows)
+        assert "Through" not in text
+        rows.append({"Start point": "a", "Through": "t", "End point": "b",
+                     "Result": "X"})
+        assert "Through" in format_comparison_table(rows)
+
+
+class TestSlackReport:
+    def test_summary_line(self, pipeline_netlist):
+        bound = BoundMode(pipeline_netlist, parse_mode(
+            "create_clock -name c -period 10 [get_ports clk]"))
+        text = format_slack_report(run_sta(bound))
+        assert "worst slack" in text
+        assert "rB/D" in text

@@ -1,0 +1,97 @@
+"""Unit tests for relationship states and SDC precedence resolution."""
+
+from repro.sdc import (
+    ObjectRef,
+    PathSpec,
+    SetFalsePath,
+    SetMaxDelay,
+    SetMinDelay,
+    SetMulticyclePath,
+)
+from repro.timing import FALSE, VALID, RelState, resolve_state
+
+SPEC_TO = PathSpec(to_refs=(ObjectRef.pins("r/D"),))
+SPEC_FROM_TO = PathSpec(from_refs=(ObjectRef.pins("a/CP"),),
+                        to_refs=(ObjectRef.pins("r/D"),))
+SPEC_THROUGH = PathSpec(through_refs=(ObjectRef.pins("u/Z"),))
+
+
+class TestRelState:
+    def test_valid_default(self):
+        assert VALID.is_valid_default
+        assert VALID.label() == "V"
+
+    def test_false_label(self):
+        assert FALSE.label() == "FP"
+        assert not FALSE.is_valid_default
+
+    def test_composite_labels(self):
+        state = RelState(mcp_setup=2)
+        assert state.label() == "MCP(2)"
+        state = RelState(mcp_setup=2, max_delay=5.0)
+        assert "MCP(2)" in state.label() and "MAXD(5)" in state.label()
+
+    def test_hashable_and_comparable(self):
+        a = RelState(mcp_setup=2)
+        b = RelState(mcp_setup=2)
+        assert a == b and hash(a) == hash(b)
+        assert a != VALID
+
+
+class TestPrecedence:
+    def test_no_exceptions_is_valid(self):
+        assert resolve_state([]) == VALID
+
+    def test_false_path_alone(self):
+        assert resolve_state([SetFalsePath(spec=SPEC_TO)]) == FALSE
+
+    def test_false_overrides_mcp(self):
+        # The paper's Table 1 rule.
+        state = resolve_state([
+            SetMulticyclePath(2, SPEC_THROUGH),
+            SetFalsePath(spec=SPEC_TO),
+        ])
+        assert state == FALSE
+
+    def test_hold_only_false_path_keeps_setup(self):
+        state = resolve_state([SetFalsePath(spec=SPEC_TO, hold=True)])
+        assert not state.is_false
+
+    def test_mcp_multiplier(self):
+        state = resolve_state([SetMulticyclePath(3, SPEC_TO)])
+        assert state.mcp_setup == 3 and state.mcp_hold is None
+
+    def test_mcp_hold_flag(self):
+        state = resolve_state([SetMulticyclePath(2, SPEC_TO, hold=True)])
+        assert state.mcp_hold == 2 and state.mcp_setup is None
+
+    def test_more_specific_mcp_wins(self):
+        state = resolve_state([
+            SetMulticyclePath(4, SPEC_THROUGH),          # through-only
+            SetMulticyclePath(2, SPEC_FROM_TO),           # from+to: wins
+        ])
+        assert state.mcp_setup == 2
+
+    def test_equal_specificity_larger_multiplier(self):
+        state = resolve_state([
+            SetMulticyclePath(2, SPEC_TO),
+            SetMulticyclePath(3, SPEC_TO),
+        ])
+        assert state.mcp_setup == 3
+
+    def test_max_delay_overrides_mcp(self):
+        state = resolve_state([
+            SetMulticyclePath(2, SPEC_TO),
+            SetMaxDelay(5.0, SPEC_TO),
+        ])
+        assert state.max_delay == 5.0 and state.mcp_setup is None
+
+    def test_tightest_max_delay_wins(self):
+        state = resolve_state([
+            SetMaxDelay(5.0, SPEC_TO), SetMaxDelay(3.0, SPEC_TO)])
+        assert state.max_delay == 3.0
+
+    def test_largest_min_delay_wins(self):
+        state = resolve_state([
+            SetMinDelay(0.5, SPEC_TO), SetMinDelay(1.5, SPEC_TO)])
+        assert state.min_delay == 1.5
