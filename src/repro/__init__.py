@@ -26,6 +26,13 @@ from repro.core import (
     merge_all,
     merge_modes,
 )
+from repro.diagnostics import (
+    DegradationPolicy,
+    Diagnostic,
+    DiagnosticCollector,
+    Severity,
+    diagnostic_from_error,
+)
 from repro.netlist import (
     Netlist,
     NetlistBuilder,
@@ -45,6 +52,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BoundMode",
+    "DegradationPolicy",
+    "Diagnostic",
+    "DiagnosticCollector",
     "MergeOptions",
     "MergeResult",
     "MergingRun",
@@ -53,8 +63,10 @@ __all__ = [
     "Netlist",
     "NetlistBuilder",
     "RelationshipExtractor",
+    "Severity",
     "StaResult",
     "build_mergeability_graph",
+    "diagnostic_from_error",
     "check_mode_equivalence",
     "figure1_circuit",
     "merge_all",

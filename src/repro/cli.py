@@ -10,6 +10,19 @@ Three subcommands mirror how the technique is used in a flow::
 built-in validation) and writes one SDC file per merged mode.  ``audit``
 checks an existing superset mode for relationship equivalence.  ``report``
 prints the mergeability graph and the chosen merge groups without merging.
+
+Exit-code contract (stable; scripts may rely on it):
+
+* ``0`` — clean: every requested output was produced, no warnings;
+* ``1`` — merged with warnings: the run completed but something was
+  degraded (skipped SDC commands, demoted modes, audit mismatch);
+* ``2`` — hard failure: an input could not be loaded or the run aborted.
+
+``--policy`` selects the degradation policy (default ``strict``), and
+``--diagnostics out.json`` writes every structured finding of the run —
+code, severity, source location, remediation hint — as a JSON artifact.
+A bad input file always exits ``2`` with a one-line diagnostic, never a
+raw traceback.
 """
 
 from __future__ import annotations
@@ -25,31 +38,72 @@ from repro.core import (
     format_merging_run,
     merge_all,
 )
+from repro.core.merger import MergeOptions
+from repro.diagnostics import (
+    DegradationPolicy,
+    DiagnosticCollector,
+    Severity,
+)
+from repro.errors import ReproError
 from repro.netlist import read_verilog
 from repro.sdc import Mode, parse_mode, write_mode
 
 
-def _load_modes(paths: List[str]) -> List[Mode]:
+class _HardFailure(Exception):
+    """Internal: abort the subcommand; diagnostics carry the details."""
+
+
+def _read_text(path: str, collector: DiagnosticCollector) -> str:
+    try:
+        return Path(path).read_text()
+    except OSError as exc:
+        collector.capture(exc, source=path)
+        raise _HardFailure() from exc
+    except UnicodeDecodeError as exc:
+        collector.capture(exc, source=path)
+        raise _HardFailure() from exc
+
+
+def _load_modes(paths: List[str], policy: DegradationPolicy,
+                collector: DiagnosticCollector) -> List[Mode]:
     modes = []
     for path in paths:
-        text = Path(path).read_text()
-        modes.append(parse_mode(text, Path(path).stem))
+        text = _read_text(path, collector)
+        try:
+            modes.append(parse_mode(text, Path(path).stem, policy=policy,
+                                    collector=collector, source=path))
+        except ReproError as exc:
+            collector.capture(exc, source=path)
+            raise _HardFailure() from exc
     return modes
 
 
-def _load_netlist(path: str, liberty: str = ""):
+def _load_netlist(path: str, liberty: str,
+                  collector: DiagnosticCollector):
     library = None
     if liberty:
         from repro.netlist import read_liberty
 
-        library = read_liberty(Path(liberty).read_text())
-    return read_verilog(Path(path).read_text(), library)
+        text = _read_text(liberty, collector)
+        try:
+            library = read_liberty(text)
+        except ReproError as exc:
+            collector.capture(exc, source=liberty)
+            raise _HardFailure() from exc
+    text = _read_text(path, collector)
+    try:
+        return read_verilog(text, library)
+    except ReproError as exc:
+        collector.capture(exc, source=path)
+        raise _HardFailure() from exc
 
 
-def cmd_merge(args: argparse.Namespace) -> int:
-    netlist = _load_netlist(args.netlist, args.liberty)
-    modes = _load_modes(args.sdc)
-    run = merge_all(netlist, modes)
+def cmd_merge(args: argparse.Namespace, policy: DegradationPolicy,
+              collector: DiagnosticCollector) -> int:
+    netlist = _load_netlist(args.netlist, args.liberty, collector)
+    modes = _load_modes(args.sdc, policy, collector)
+    options = MergeOptions(policy=policy)
+    run = merge_all(netlist, modes, options, collector=collector)
     print(format_merging_run(run))
     out_dir = Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -57,6 +111,8 @@ def cmd_merge(args: argparse.Namespace) -> int:
     for outcome in run.outcomes:
         if outcome.result is None:
             failures += 1
+            reason = outcome.error or "unknown failure"
+            print(f"not merged {'+'.join(outcome.mode_names)}: {reason}")
             continue
         if not outcome.result.ok:
             failures += 1
@@ -70,21 +126,25 @@ def cmd_merge(args: argparse.Namespace) -> int:
         report_path = out_dir / "merge_report.json"
         report_path.write_text(json.dumps(run.to_dict(), indent=2) + "\n")
         print(f"wrote {report_path}")
-    return 1 if failures else 0
+    if failures:
+        return 1
+    return 1 if collector.has_warnings or collector.has_errors else 0
 
 
-def cmd_audit(args: argparse.Namespace) -> int:
-    netlist = _load_netlist(args.netlist, args.liberty)
-    modes = _load_modes(args.sdc)
-    candidate = _load_modes([args.candidate])[0]
+def cmd_audit(args: argparse.Namespace, policy: DegradationPolicy,
+              collector: DiagnosticCollector) -> int:
+    netlist = _load_netlist(args.netlist, args.liberty, collector)
+    modes = _load_modes(args.sdc, policy, collector)
+    candidate = _load_modes([args.candidate], policy, collector)[0]
     report = check_mode_equivalence(netlist, modes, candidate)
     print(report.summary())
     return 0 if report.equivalent else 1
 
 
-def cmd_report(args: argparse.Namespace) -> int:
-    netlist = _load_netlist(args.netlist, args.liberty)
-    modes = _load_modes(args.sdc)
+def cmd_report(args: argparse.Namespace, policy: DegradationPolicy,
+               collector: DiagnosticCollector) -> int:
+    netlist = _load_netlist(args.netlist, args.liberty, collector)
+    modes = _load_modes(args.sdc, policy, collector)
     analysis = build_mergeability_graph(netlist, modes)
     print(analysis.summary())
     for pair, reason in sorted(analysis.reasons.items(),
@@ -101,6 +161,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Liberty (.lib) file defining the cell "
                              "library (default: the built-in generic "
                              "library)")
+    parser.add_argument("--policy", default="strict",
+                        choices=[p.value for p in DegradationPolicy],
+                        help="degradation policy: strict raises on the "
+                             "first problem, lenient skips unsupported/"
+                             "invalid SDC commands and demotes failing "
+                             "modes, permissive additionally recovers "
+                             "from malformed SDC lines")
+    parser.add_argument("--diagnostics", default="", metavar="OUT.JSON",
+                        help="write the run's structured diagnostics to "
+                             "this JSON file")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_merge = sub.add_parser("merge", help="merge modes into superset modes")
@@ -128,10 +198,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_diagnostics(path: str, collector: DiagnosticCollector) -> None:
+    if not path:
+        return
+    try:
+        Path(path).write_text(collector.to_json())
+    except OSError as exc:  # diagnostics must never crash the run
+        print(f"cannot write diagnostics to {path}: {exc}", file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    policy = DegradationPolicy.coerce(args.policy)
+    collector = DiagnosticCollector()
+    try:
+        code = args.func(args, policy, collector)
+    except _HardFailure:
+        code = 2
+    except ReproError as exc:
+        # Under STRICT, library errors surface here: one line, exit 2.
+        collector.capture(exc)
+        code = 2
+    for diagnostic in collector:
+        print(diagnostic.format(), file=sys.stderr)
+    _write_diagnostics(args.diagnostics, collector)
+    return code
 
 
 if __name__ == "__main__":

@@ -30,6 +30,12 @@ from repro.core.exceptions_merge import merge_exceptions
 from repro.core.external_delays import merge_external_delays
 from repro.core.merger import MergeOptions, MergeResult, merge_modes
 from repro.core.steps import MergeContext
+from repro.diagnostics import (
+    DegradationPolicy,
+    Diagnostic,
+    DiagnosticCollector,
+    Severity,
+)
 from repro.netlist.netlist import Netlist
 from repro.sdc.mode import Mode
 from repro.timing.clocks import ClockPropagation
@@ -254,6 +260,13 @@ class MergingRun:
     analysis: MergeabilityAnalysis
     outcomes: List[GroupOutcome] = field(default_factory=list)
     runtime_seconds: float = 0.0
+    #: structured findings recorded while running under a recovery policy
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def failed_outcomes(self) -> List[GroupOutcome]:
+        """Groups that produced no merged mode (reason in ``.error``)."""
+        return [o for o in self.outcomes if o.result is None]
 
     @property
     def individual_count(self) -> int:
@@ -285,6 +298,7 @@ class MergingRun:
             "merged_modes": self.merged_count,
             "reduction_percent": round(self.reduction_percent, 3),
             "runtime_seconds": round(self.runtime_seconds, 6),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
             "groups": [
                 {
                     "modes": list(outcome.mode_names),
@@ -314,18 +328,34 @@ class MergingRun:
             elif outcome.error:
                 lines.append(f"  kept individual {outcome.mode_names} "
                              f"({outcome.error})")
+        if self.diagnostics:
+            lines.append(f"  {len(self.diagnostics)} diagnostics recorded "
+                         f"(see run.diagnostics)")
         return "\n".join(lines)
 
 
 def merge_all(netlist: Netlist, modes: Sequence[Mode],
               options: Optional[MergeOptions] = None,
-              analysis: Optional[MergeabilityAnalysis] = None) -> MergingRun:
+              analysis: Optional[MergeabilityAnalysis] = None,
+              collector: Optional[DiagnosticCollector] = None) -> MergingRun:
     """The end-to-end flow: analyze mergeability, then merge every group.
 
     A group whose full merge fails (rare: pairwise mergeability is not
     transitive) is bisected until its sub-groups merge cleanly.
+
+    Under a recovery policy (``options.policy`` LENIENT / PERMISSIVE) a
+    merge step that *raises* no longer aborts the run: the offending
+    mode is demoted from its group — mirroring the paper's mock-merge
+    fallback of giving non-mergeable modes their own group — the
+    survivors are re-merged, and a diagnostic is recorded.  A failed
+    group never takes down sibling groups; the invariant is that every
+    input mode ends in exactly one outcome, either merged or kept
+    individual with a reason.
     """
     opts = options or MergeOptions()
+    policy = DegradationPolicy.coerce(opts.policy)
+    sink = collector if collector is not None else DiagnosticCollector()
+    first_diag = len(sink)
     start = time.perf_counter()
     if analysis is None:
         analysis = build_mergeability_graph(netlist, modes, opts)
@@ -337,17 +367,24 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
         max_iterations=opts.max_iterations,
         strict=False,
         validate=opts.validate,
+        policy=policy,
     )
 
-    def merge_group(names: List[str]) -> None:
+    def try_merge(names: List[str]) -> MergeResult:
         group_modes = [by_name[n] for n in names]
-        if len(group_modes) == 1:
-            result = merge_modes(netlist, group_modes, name=names[0],
-                                 options=group_opts)
-            run.outcomes.append(GroupOutcome(names, result))
+        name = names[0] if len(names) == 1 else None
+        return merge_modes(netlist, group_modes, name=name,
+                           options=group_opts)
+
+    def merge_group(names: List[str]) -> None:
+        try:
+            result = try_merge(names)
+        except Exception as exc:
+            if policy is DegradationPolicy.STRICT:
+                raise
+            recover_group(names, exc)
             return
-        result = merge_modes(netlist, group_modes, options=group_opts)
-        if result.ok:
+        if len(names) == 1 or result.ok:
             run.outcomes.append(GroupOutcome(names, result))
             return
         half = len(names) // 2
@@ -359,7 +396,41 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
         merge_group(names[:half])
         merge_group(names[half:])
 
+    def recover_group(names: List[str], exc: BaseException) -> None:
+        """Demote the offending mode(s) instead of aborting the run."""
+        reason = str(exc)
+        if len(names) == 1:
+            # An individual mode whose (re)construction fails: keep the
+            # failure as a structured outcome, never an exception.
+            sink.capture(exc, source=names[0])
+            run.outcomes.append(GroupOutcome(names, None, error=reason))
+            return
+        for i, culprit in enumerate(names):
+            survivors = names[:i] + names[i + 1:]
+            try:
+                try_merge(survivors)
+            except Exception:
+                continue
+            sink.report(
+                "MRG002",
+                f"mode {culprit!r} demoted from group "
+                f"{{{', '.join(names)}}}: {reason}",
+                severity=Severity.WARNING, source=culprit)
+            merge_group(survivors)
+            merge_group([culprit])
+            return
+        # No single demotion rescues the group: bisect.
+        sink.report(
+            "MRG001",
+            f"group {{{', '.join(names)}}} failed to merge ({reason}); "
+            f"bisecting",
+            severity=Severity.WARNING)
+        half = len(names) // 2
+        merge_group(names[:half])
+        merge_group(names[half:])
+
     for group in analysis.groups:
         merge_group(list(group))
     run.runtime_seconds = time.perf_counter() - start
+    run.diagnostics = list(sink.diagnostics[first_diag:])
     return run

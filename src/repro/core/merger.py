@@ -29,7 +29,8 @@ from repro.core.exceptions_merge import merge_exceptions
 from repro.core.external_delays import merge_external_delays
 from repro.core.steps import Conflict, MergeContext, StepReport
 from repro.core.three_pass import ThreePassOutcome, run_three_pass
-from repro.errors import RefinementError
+from repro.diagnostics import DegradationPolicy
+from repro.errors import MergeStepError, RefinementError
 from repro.netlist.netlist import Netlist
 from repro.sdc.mode import Mode
 
@@ -46,6 +47,10 @@ class MergeOptions:
     strict: bool = True
     #: run the independent equivalence check after merging
     validate: bool = True
+    #: fault tolerance of the surrounding flow; under a recovery policy
+    #: a step that raises is re-raised as :class:`MergeStepError` naming
+    #: the failing stage, so ``merge_all`` can demote the offending modes
+    policy: DegradationPolicy = DegradationPolicy.STRICT
 
 
 @dataclass
@@ -128,23 +133,44 @@ def merge_modes(netlist: Netlist, modes: Sequence[Mode],
                 options: Optional[MergeOptions] = None) -> MergeResult:
     """Merge ``modes`` of ``netlist`` into one superset mode."""
     opts = options or MergeOptions()
+    policy = DegradationPolicy.coerce(opts.policy)
+    mode_names = [m.name for m in modes]
+
+    def step(step_name, fn, *args):
+        """Run one pipeline stage with per-step fault isolation.
+
+        Under a recovery policy a raising step becomes a
+        :class:`MergeStepError` naming the stage and the group, which
+        ``merge_all`` turns into a demotion instead of a crash.  Under
+        STRICT the call is transparent — historical behaviour.
+        """
+        if policy is DegradationPolicy.STRICT:
+            return fn(*args)
+        try:
+            return fn(*args)
+        except MergeStepError:
+            raise
+        except Exception as exc:
+            raise MergeStepError(step_name, mode_names, exc) from exc
+
     start = time.perf_counter()
     context = MergeContext(netlist, list(modes), name)
 
     # --- preliminary mode merging (3.1) ---
-    merge_clocks(context)
-    merge_clock_constraints(context, opts.tolerance)
-    merge_external_delays(context)
-    merge_case_analysis(context)
-    merge_disable_timing(context)
-    merge_drive_load(context, opts.tolerance)
-    merge_clock_exclusivity(context)
-    refine_clock_network(context)
-    merge_exceptions(context)
+    step("clock_union", merge_clocks, context)
+    step("clock_constraints", merge_clock_constraints, context, opts.tolerance)
+    step("external_delays", merge_external_delays, context)
+    step("case_analysis", merge_case_analysis, context)
+    step("disable_timing", merge_disable_timing, context)
+    step("drive_load", merge_drive_load, context, opts.tolerance)
+    step("clock_exclusivity", merge_clock_exclusivity, context)
+    step("clock_refinement", refine_clock_network, context)
+    step("exceptions", merge_exceptions, context)
 
     # --- merged-mode refinement (3.2) ---
-    refine_data_clocks(context)
-    _report, outcome = run_three_pass(context, opts.max_iterations)
+    step("data_refinement", refine_data_clocks, context)
+    _report, outcome = step("three_pass", run_three_pass, context,
+                            opts.max_iterations)
 
     result = MergeResult(
         merged=context.merged,
@@ -155,7 +181,7 @@ def merge_modes(netlist: Netlist, modes: Sequence[Mode],
     if opts.validate:
         from repro.core.equivalence import check_equivalence
 
-        check = check_equivalence(context)
+        check = step("equivalence_validation", check_equivalence, context)
         result.validated = True
         result.validation_mismatches = check.mismatches
 

@@ -58,14 +58,30 @@ def format_merging_run(run: MergingRun) -> str:
     body = []
     for outcome in run.outcomes:
         result = outcome.result
+        if result is not None:
+            status = "OK" if result.ok else (outcome.error or "not ok")
+        else:
+            status = "FAILED"
         body.append([
             "+".join(outcome.mode_names),
             str(len(outcome.mode_names)),
             str(len(result.merged)) if result else "-",
             f"{result.runtime_seconds:.3f}" if result else "-",
-            ("OK" if result and result.ok else outcome.error or "kept"),
+            status,
         ])
     lines.append(format_table(
         ["Group", "#Modes", "#Constraints", "Merge time (s)", "Status"],
         body))
+    failed = run.failed_outcomes
+    if failed:
+        lines.append("")
+        lines.append("failures:")
+        for outcome in failed:
+            reason = outcome.error or "unknown failure"
+            lines.append(f"  {'+'.join(outcome.mode_names)}: {reason}")
+    if run.diagnostics:
+        lines.append("")
+        lines.append("diagnostics:")
+        for diagnostic in run.diagnostics:
+            lines.append(f"  {diagnostic.format()}")
     return "\n".join(lines)

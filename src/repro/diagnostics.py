@@ -1,0 +1,320 @@
+"""Structured diagnostics and graceful-degradation policy.
+
+The paper's flow is explicitly failure-tolerant: modes that cannot be
+merged are demoted to their own group, and constraints that cannot be
+translated are dropped *with a note* rather than aborting the run
+(Sections 2-3.1).  This module is the substrate for that behaviour
+across the whole pipeline:
+
+* :class:`Diagnostic` — one structured finding: a stable error code, a
+  severity, a source location (file / subsystem plus line) and a
+  remediation hint.  Every recoverable problem anywhere in the flow
+  becomes exactly one ``Diagnostic``.
+* :class:`DiagnosticCollector` — an append-only sink threaded through
+  the parser, the merge pipeline and the CLI; knows the worst severity
+  seen and renders the one-line-per-finding report.
+* :class:`DegradationPolicy` — how much failure to tolerate:
+  ``STRICT`` (raise, byte-identical to the historical behaviour),
+  ``LENIENT`` (recover from semantic problems: unsupported or invalid
+  commands, failing merge steps) and ``PERMISSIVE`` (additionally
+  recover from syntax-level damage: unparseable SDC lines).
+
+Stable code namespace
+---------------------
+
+Codes are short, stable strings — tooling that matches on them must not
+break across releases:
+
+===========  ==============================================================
+``SDC001``   unsupported SDC command (skipped under recovery)
+``SDC002``   SDC syntax error (line skipped under ``PERMISSIVE``)
+``SDC003``   SDC command with invalid arguments (skipped under recovery)
+``SDC004``   SDC object query matched nothing where a match was required
+``SDC005``   benign SDC command recorded but not modeled
+``NET001``   Verilog syntax error
+``NET002``   netlist consistency error (unknown cell, duplicate, wiring)
+``MRG001``   a merge-pipeline step raised; the group merge was abandoned
+``MRG002``   mode(s) demoted from a merge group (kept individual)
+``MRG003``   merged mode left unresolved residual mismatches
+``MRG004``   equivalence validation could not run or found mismatches
+``TIM001``   timing-graph error (combinational loop, no clocks)
+``IO001``    input file missing or unreadable
+``IO002``    input file contents malformed (not decodable / not loadable)
+``GEN000``   unclassified error escaping a pipeline step
+===========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from repro import errors
+
+
+class Severity(Enum):
+    """How bad a diagnostic is; ordered."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+class DegradationPolicy(Enum):
+    """How much failure the pipeline tolerates before raising."""
+
+    STRICT = "strict"          # raise on any problem (historical behaviour)
+    LENIENT = "lenient"        # recover from semantic problems
+    PERMISSIVE = "permissive"  # additionally recover from syntax damage
+
+    @classmethod
+    def coerce(cls, value: Union["DegradationPolicy", str, None]
+               ) -> "DegradationPolicy":
+        """Accept a policy, its string name, or None (-> STRICT)."""
+        if value is None:
+            return cls.STRICT
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown degradation policy {value!r}; expected one of "
+                f"{[p.value for p in cls]}") from None
+
+    @property
+    def recovers_commands(self) -> bool:
+        """Skip-and-record unsupported / invalid commands?"""
+        return self is not DegradationPolicy.STRICT
+
+    @property
+    def recovers_syntax(self) -> bool:
+        """Skip-and-record unparseable lines too?"""
+        return self is DegradationPolicy.PERMISSIVE
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding from anywhere in the pipeline."""
+
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    #: where it came from: a file path, a mode name, or a subsystem label
+    source: str = ""
+    #: 1-based line number when the finding is tied to input text (0 = n/a)
+    line: int = 0
+    #: what the user can do about it
+    hint: str = ""
+    #: structured fields carried over from the originating exception
+    details: Dict[str, object] = field(default_factory=dict, compare=False)
+
+    def format(self) -> str:
+        """The canonical one-line rendering."""
+        where = self.source
+        if self.line:
+            where = f"{where}:{self.line}" if where else f"line {self.line}"
+        parts = [f"[{self.code}]", self.severity.value.upper()]
+        if where:
+            parts.append(where)
+        text = " ".join(parts) + f": {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "source": self.source,
+            "line": self.line,
+            "hint": self.hint,
+            "details": {k: _jsonable(v) for k, v in self.details.items()},
+        }
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+#: Most specific class first — looked up along each exception's MRO.
+_ERROR_CODES = [
+    (errors.SdcSyntaxError, "SDC002"),
+    (errors.SdcCommandError, "SDC003"),
+    (errors.SdcLookupError, "SDC004"),
+    (errors.SdcError, "SDC002"),
+    (errors.VerilogSyntaxError, "NET001"),
+    (errors.NetlistError, "NET002"),
+    (errors.MergeStepError, "MRG001"),
+    (errors.NotMergeableError, "MRG002"),
+    (errors.RefinementError, "MRG003"),
+    (errors.EquivalenceError, "MRG004"),
+    (errors.MergeError, "MRG001"),
+    (errors.TimingError, "TIM001"),
+    (FileNotFoundError, "IO001"),
+    (PermissionError, "IO001"),
+    (IsADirectoryError, "IO001"),
+    (OSError, "IO001"),
+    (UnicodeDecodeError, "IO002"),
+]
+
+_CODE_HINTS = {
+    "SDC001": "remove the command or run with --policy lenient/permissive",
+    "SDC002": "fix the SDC syntax at the reported line",
+    "SDC003": "fix the command's arguments at the reported line",
+    "IO001": "check the path exists and is readable",
+    "MRG002": "the demoted mode is kept as its own sign-off mode",
+}
+
+
+def code_for_error(exc: BaseException) -> str:
+    """The stable diagnostic code for an exception (``GEN000`` fallback)."""
+    # UnicodeDecodeError subclasses ValueError, not OSError; check it and
+    # any other exact matches before the subclass walk.
+    for err_type, code in _ERROR_CODES:
+        if type(exc) is err_type:
+            return code
+    for err_type, code in _ERROR_CODES:
+        if isinstance(exc, err_type):
+            return code
+    return "GEN000"
+
+
+def diagnostic_from_error(exc: BaseException, source: str = "",
+                          severity: Severity = Severity.ERROR,
+                          hint: str = "") -> Diagnostic:
+    """Build a :class:`Diagnostic` out of any exception.
+
+    Structured fields of :class:`~repro.errors.ReproError` subclasses
+    (``line``, ``reason``, ``cycle_pins``, ...) are preserved in
+    ``details``; a ``line`` attribute also populates the diagnostic's
+    own line number.
+    """
+    code = code_for_error(exc)
+    details = exc.details() if isinstance(exc, errors.ReproError) else {}
+    line = details.get("line", 0)
+    return Diagnostic(
+        code=code,
+        message=str(exc),
+        severity=severity,
+        source=source,
+        line=int(line) if isinstance(line, int) else 0,
+        hint=hint or _CODE_HINTS.get(code, ""),
+        details=details,
+    )
+
+
+class DiagnosticCollector:
+    """Append-only sink for diagnostics, threaded through the pipeline."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- recording ------------------------------------------------------
+    def add(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def report(self, code: str, message: str,
+               severity: Severity = Severity.ERROR, source: str = "",
+               line: int = 0, hint: str = "") -> Diagnostic:
+        return self.add(Diagnostic(
+            code=code, message=message, severity=severity, source=source,
+            line=line, hint=hint or _CODE_HINTS.get(code, "")))
+
+    def capture(self, exc: BaseException, source: str = "",
+                severity: Severity = Severity.ERROR,
+                hint: str = "") -> Diagnostic:
+        return self.add(diagnostic_from_error(exc, source, severity, hint))
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        for diagnostic in diagnostics:
+            self.add(diagnostic)
+
+    # -- queries --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max((d.severity for d in self.diagnostics),
+                   key=lambda s: s.rank)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def has_warnings(self) -> bool:
+        return any(d.severity is Severity.WARNING for d in self.diagnostics)
+
+    def exit_code(self) -> int:
+        """The CLI contract: 0 clean, 1 warnings, 2 errors."""
+        if self.has_errors:
+            return 2
+        if self.has_warnings:
+            return 1
+        return 0
+
+    # -- rendering ------------------------------------------------------
+    def summary(self) -> str:
+        """One line per finding plus a severity tally."""
+        if not self.diagnostics:
+            return "no diagnostics"
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(
+            f"{len(self.diagnostics)} diagnostics: "
+            f"{self.count(Severity.ERROR)} errors, "
+            f"{self.count(Severity.WARNING)} warnings, "
+            f"{self.count(Severity.INFO)} info")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": {
+                "error": self.count(Severity.ERROR),
+                "warning": self.count(Severity.WARNING),
+                "info": self.count(Severity.INFO),
+            },
+            "exit_code": self.exit_code(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"

@@ -13,6 +13,16 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
+    def details(self) -> dict:
+        """Structured fields of this error (line numbers, names, ...).
+
+        Subclasses store their machine-readable context as instance
+        attributes; this returns them as one dict so diagnostics and
+        log sinks never have to re-parse ``str(exc)``.
+        """
+        return {key: value for key, value in vars(self).items()
+                if not key.startswith("_")}
+
 
 class NetlistError(ReproError):
     """Base class for netlist construction / consistency errors."""
@@ -100,6 +110,30 @@ class NotMergeableError(MergeError):
         self.mode_a = mode_a
         self.mode_b = mode_b
         self.reason = reason
+
+
+class MergeStepError(MergeError):
+    """A pipeline step raised while merging a group of modes.
+
+    Wraps the original exception with the step name and the mode names
+    of the group, so graceful-degradation handlers know exactly which
+    stage failed and which modes to demote.
+    """
+
+    def __init__(self, step: str, mode_names, cause: BaseException):
+        names = ", ".join(mode_names)
+        super().__init__(
+            f"step {step!r} failed merging [{names}]: {cause}")
+        self.step = step
+        self.mode_names = list(mode_names)
+        self.cause = cause
+
+    def details(self) -> dict:
+        return {
+            "step": self.step,
+            "mode_names": list(self.mode_names),
+            "cause": str(self.cause),
+        }
 
 
 class RefinementError(MergeError):

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 
 class RefKind(Enum):
@@ -103,6 +103,15 @@ class Constraint:
         """Return a copy with clock-name references rewritten."""
         return self
 
+    def problems(self) -> List[str]:
+        """Semantic validity problems (empty when the constraint is sound).
+
+        The parser's recovery policies skip-and-record constraints that
+        report problems here; strict parsing keeps the historical
+        accept-silently behaviour for backwards compatibility.
+        """
+        return []
+
 
 # ---------------------------------------------------------------------------
 # clocks
@@ -143,6 +152,15 @@ class CreateClock(Constraint):
     def renamed(self, new_name: str) -> "CreateClock":
         return replace(self, name=new_name)
 
+    def problems(self) -> List[str]:
+        issues = []
+        if self.period <= 0:
+            issues.append(f"period must be positive, got {self.period}")
+        if self.waveform and len(self.waveform) != 2:
+            issues.append(f"waveform needs exactly two edges, "
+                          f"got {len(self.waveform)}")
+        return issues
+
 
 @dataclass(frozen=True)
 class CreateGeneratedClock(Constraint):
@@ -181,6 +199,14 @@ class CreateGeneratedClock(Constraint):
         new_master = mapping.get(self.master_clock, self.master_clock)
         return replace(self, master_clock=new_master)
 
+    def problems(self) -> List[str]:
+        issues = []
+        if self.divide_by < 1:
+            issues.append(f"-divide_by must be >= 1, got {self.divide_by}")
+        if self.multiply_by < 1:
+            issues.append(f"-multiply_by must be >= 1, got {self.multiply_by}")
+        return issues
+
 
 class ClockGroupKind(Enum):
     PHYSICALLY_EXCLUSIVE = "physically_exclusive"
@@ -207,6 +233,11 @@ class SetClockGroups(Constraint):
             self,
             groups=tuple(tuple(mapping.get(c, c) for c in g) for g in self.groups),
         )
+
+    def problems(self) -> List[str]:
+        if any(not group for group in self.groups):
+            return ["every -group needs at least one clock"]
+        return []
 
 
 # ---------------------------------------------------------------------------
@@ -597,6 +628,11 @@ class SetMulticyclePath(Constraint):
 
     def rename_clocks(self, mapping) -> "SetMulticyclePath":
         return replace(self, spec=self.spec.rename_clocks(mapping))
+
+    def problems(self) -> List[str]:
+        if self.multiplier < 0:
+            return [f"multiplier must be >= 0, got {self.multiplier}"]
+        return []
 
 
 @dataclass(frozen=True)

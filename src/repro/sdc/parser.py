@@ -10,10 +10,17 @@ constraint files.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import SdcCommandError
+from repro.diagnostics import (
+    DegradationPolicy,
+    Diagnostic,
+    DiagnosticCollector,
+    Severity,
+    diagnostic_from_error,
+)
+from repro.errors import SdcCommandError, SdcError
 from repro.sdc.commands import (
     ClockGroupKind,
     Constraint,
@@ -94,29 +101,107 @@ class ParseResult:
 
     mode: Mode
     ignored: List[str] = field(default_factory=list)
+    #: commands skipped under a recovery policy (one diagnostic each)
+    skipped: List[str] = field(default_factory=list)
+    #: diagnostics recorded while parsing this text
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
 
 
-def parse_sdc(text: str, mode_name: str = "mode") -> ParseResult:
-    """Parse SDC ``text`` into a mode named ``mode_name``."""
+def parse_sdc(text: str, mode_name: str = "mode",
+              policy: Union[DegradationPolicy, str] = DegradationPolicy.STRICT,
+              collector: Optional[DiagnosticCollector] = None,
+              source: str = "") -> ParseResult:
+    """Parse SDC ``text`` into a mode named ``mode_name``.
+
+    ``policy`` selects the recovery behaviour:
+
+    * ``STRICT`` (default) — raise on the first problem, exactly the
+      historical behaviour.
+    * ``LENIENT`` — unsupported commands and commands with invalid
+      arguments are skipped and recorded as one diagnostic each
+      (``SDC001`` / ``SDC003``); syntax errors still raise.
+    * ``PERMISSIVE`` — additionally, unparseable lines are skipped and
+      recorded (``SDC002``); no :class:`~repro.errors.SdcError` ever
+      escapes.
+
+    Diagnostics land in ``collector`` when given (and always in
+    ``ParseResult.diagnostics``); ``source`` labels them, typically with
+    the SDC file name.
+    """
+    policy = DegradationPolicy.coerce(policy)
+    sink = collector if collector is not None else DiagnosticCollector()
+    start = len(sink)
     mode = Mode(mode_name)
     ignored: List[str] = []
-    for command in tokenize(text):
+    skipped: List[str] = []
+    commands = tokenize(text, recover=policy.recovers_syntax, collector=sink)
+    for command in commands:
         handler = _HANDLERS.get(command.name)
         if handler is None:
             if command.name in _IGNORED_COMMANDS:
                 ignored.append(command.name)
                 continue
-            raise SdcCommandError(command.name, "unsupported command",
-                                  command.line)
-        constraint = handler(command)
-        if constraint is not None:
-            mode.add(constraint)
-    return ParseResult(mode, ignored)
+            if not policy.recovers_commands:
+                raise SdcCommandError(command.name, "unsupported command",
+                                      command.line)
+            skipped.append(command.name)
+            sink.report("SDC001",
+                        f"{command.name}: unsupported command (skipped)",
+                        severity=Severity.WARNING, source=source,
+                        line=command.line)
+            continue
+        try:
+            constraint = handler(command)
+        except SdcError as exc:
+            if not policy.recovers_commands:
+                raise
+            skipped.append(command.name)
+            diagnostic = diagnostic_from_error(exc, source=source,
+                                               severity=Severity.WARNING)
+            if not diagnostic.line:
+                diagnostic = replace(diagnostic, line=command.line)
+            sink.add(diagnostic)
+            continue
+        except Exception as exc:  # defensive: a handler bug on hostile text
+            if not policy.recovers_syntax:
+                raise
+            skipped.append(command.name)
+            sink.report("SDC003",
+                        f"{command.name}: {exc!r} (skipped)",
+                        severity=Severity.WARNING, source=source,
+                        line=command.line)
+            continue
+        if constraint is None:
+            continue
+        if policy.recovers_commands:
+            issues = constraint.problems()
+            if issues:
+                skipped.append(command.name)
+                sink.report("SDC003",
+                            f"{command.name}: {'; '.join(issues)} (skipped)",
+                            severity=Severity.WARNING, source=source,
+                            line=command.line)
+                continue
+        mode.add(constraint)
+    new_diagnostics = list(sink.diagnostics[start:])
+    if source:
+        new_diagnostics = [d if d.source else replace(d, source=source)
+                           for d in new_diagnostics]
+        sink.diagnostics[start:] = new_diagnostics
+    return ParseResult(mode, ignored, skipped, new_diagnostics)
 
 
-def parse_mode(text: str, mode_name: str = "mode") -> Mode:
+def parse_mode(text: str, mode_name: str = "mode",
+               policy: Union[DegradationPolicy, str] = DegradationPolicy.STRICT,
+               collector: Optional[DiagnosticCollector] = None,
+               source: str = "") -> Mode:
     """Convenience wrapper returning just the mode."""
-    return parse_sdc(text, mode_name).mode
+    return parse_sdc(text, mode_name, policy=policy, collector=collector,
+                     source=source).mode
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional
 
+from repro.diagnostics import DiagnosticCollector, Severity
 from repro.errors import SdcSyntaxError
 
 
@@ -58,19 +59,40 @@ class Command:
         return f"Command({self.name}, {self.tokens})"
 
 
-def tokenize(text: str) -> List[Command]:
-    """Split SDC ``text`` into commands."""
+def tokenize(text: str, recover: bool = False,
+             collector: Optional[DiagnosticCollector] = None
+             ) -> List[Command]:
+    """Split SDC ``text`` into commands.
+
+    With ``recover`` set, a logical line that cannot be tokenized (or a
+    command that does not start with a word) is skipped and recorded as
+    one ``SDC002`` diagnostic in ``collector`` instead of raising — the
+    remaining lines still parse.  Without it, behaviour is unchanged:
+    the first syntax error raises :class:`SdcSyntaxError`.
+    """
     commands: List[Command] = []
     for line_no, logical in _logical_lines(text):
-        tokens = _tokenize_line(logical, line_no)
+        try:
+            tokens = _tokenize_line(logical, line_no)
+        except SdcSyntaxError as exc:
+            if not recover:
+                raise
+            if collector is not None:
+                collector.capture(exc, severity=Severity.WARNING)
+            continue
         for cmd_tokens in _split_on_semicolons(tokens):
             if not cmd_tokens:
                 continue
             head = cmd_tokens[0]
             if head.kind is not TokenKind.WORD:
-                raise SdcSyntaxError(
-                    f"command must start with a word, found {head!r}", head.line
-                )
+                error = SdcSyntaxError(
+                    f"command must start with a word, found {head!r}",
+                    head.line)
+                if not recover:
+                    raise error
+                if collector is not None:
+                    collector.capture(error, severity=Severity.WARNING)
+                continue
             commands.append(Command(head.value, cmd_tokens[1:], head.line))
     return commands
 

@@ -1,0 +1,44 @@
+"""Fixtures for the fault-injection suite.
+
+Everything in this directory carries the ``faultinject`` marker (see
+``pyproject.toml``) and asserts one invariant from every angle:
+
+    every run either produces a merged mode or a precise diagnostic —
+    never an unhandled traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+NETLIST_V = """
+module chip (clk, din, dout);
+  input clk, din;
+  output dout;
+  wire q1, n1;
+  DFF stage1 (.D(din), .CP(clk), .Q(q1));
+  INV logic1 (.A(q1), .Z(n1));
+  DFF stage2 (.D(n1), .CP(clk), .Q(dout));
+endmodule
+"""
+
+MODE_A = """
+create_clock -name CK -period 10 [get_ports clk]
+set_false_path -to [get_pins stage2/D]
+"""
+
+MODE_B = """
+create_clock -name CK -period 10 [get_ports clk]
+set_false_path -from [get_pins stage1/CP]
+"""
+
+
+@pytest.fixture
+def cli_files(tmp_path):
+    netlist = tmp_path / "chip.v"
+    netlist.write_text(NETLIST_V)
+    mode_a = tmp_path / "modeA.sdc"
+    mode_a.write_text(MODE_A)
+    mode_b = tmp_path / "modeB.sdc"
+    mode_b.write_text(MODE_B)
+    return tmp_path, netlist, mode_a, mode_b

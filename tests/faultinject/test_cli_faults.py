@@ -1,0 +1,173 @@
+"""Fault injection: the CLI exit-code and diagnostics contract.
+
+Missing files, unreadable paths, malformed Verilog/Liberty/SDC and
+injected pipeline faults must all end in a documented exit code plus a
+one-line diagnostic — never a traceback.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.faultinject
+
+
+def run_cli(capsys, *argv):
+    """Invoke main() and return (exit code, stdout, stderr)."""
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestMissingInputs:
+    def test_missing_netlist(self, cli_files, capsys):
+        tmp, netlist, mode_a, mode_b = cli_files
+        code, out, err = run_cli(capsys, "merge", str(tmp / "ghost.v"),
+                                 str(mode_a), "-o", str(tmp / "out"))
+        assert code == 2
+        assert "[IO001]" in err
+        assert "ghost.v" in err
+
+    def test_missing_sdc(self, cli_files, capsys):
+        tmp, netlist, mode_a, mode_b = cli_files
+        code, out, err = run_cli(capsys, "merge", str(netlist),
+                                 str(tmp / "ghost.sdc"), "-o",
+                                 str(tmp / "out"))
+        assert code == 2
+        assert "[IO001]" in err
+
+    def test_unreadable_path_is_io001(self, cli_files, capsys):
+        tmp, netlist, mode_a, mode_b = cli_files
+        directory = tmp / "iamadir"
+        directory.mkdir()
+        code, out, err = run_cli(capsys, "merge", str(directory),
+                                 str(mode_a), "-o", str(tmp / "out"))
+        assert code == 2
+        assert "[IO001]" in err
+
+    def test_missing_liberty(self, cli_files, capsys):
+        tmp, netlist, mode_a, mode_b = cli_files
+        code, out, err = run_cli(capsys, "--liberty", str(tmp / "ghost.lib"),
+                                 "merge", str(netlist), str(mode_a),
+                                 "-o", str(tmp / "out"))
+        assert code == 2
+        assert "[IO001]" in err
+
+
+class TestMalformedInputs:
+    def test_malformed_verilog(self, cli_files, capsys):
+        tmp, netlist, mode_a, mode_b = cli_files
+        bad = tmp / "bad.v"
+        bad.write_text("module chip (clk; endmodule junk (((")
+        code, out, err = run_cli(capsys, "merge", str(bad), str(mode_a),
+                                 "-o", str(tmp / "out"))
+        assert code == 2
+        assert "[NET001]" in err
+
+    def test_malformed_sdc_strict(self, cli_files, capsys):
+        tmp, netlist, mode_a, mode_b = cli_files
+        bad = tmp / "bad.sdc"
+        bad.write_text("create_clock -name CK -period 10 [get_ports clk\n")
+        code, out, err = run_cli(capsys, "merge", str(netlist), str(bad),
+                                 "-o", str(tmp / "out"))
+        assert code == 2
+        assert "[SDC002]" in err
+
+    def test_malformed_sdc_permissive_degrades(self, cli_files, capsys):
+        tmp, netlist, mode_a, mode_b = cli_files
+        bad = tmp / "bad.sdc"
+        bad.write_text(
+            "create_clock -name CK -period 10 [get_ports clk]\n"
+            "totally_bogus 1 2 3\n"
+            "set_false_path -to [get_pins stage2/D\n")
+        code, out, err = run_cli(capsys, "--policy", "permissive",
+                                 "merge", str(netlist), str(mode_a),
+                                 str(bad), "-o", str(tmp / "out"))
+        assert code == 1  # merged, with warnings
+        assert "wrote" in out
+        assert "[SDC001]" in err and "[SDC002]" in err
+
+    def test_unsupported_command_lenient(self, cli_files, capsys):
+        tmp, netlist, mode_a, mode_b = cli_files
+        bad = tmp / "bad.sdc"
+        bad.write_text(
+            "create_clock -name CK -period 10 [get_ports clk]\n"
+            "set_ideal_net [get_nets n1]\n")
+        code, out, err = run_cli(capsys, "--policy", "lenient",
+                                 "merge", str(netlist), str(mode_a),
+                                 str(bad), "-o", str(tmp / "out"))
+        assert code == 1
+        assert "[SDC001]" in err
+
+
+class TestExitCodeContract:
+    def test_clean_run_is_zero(self, cli_files, capsys):
+        tmp, netlist, mode_a, mode_b = cli_files
+        code, out, err = run_cli(capsys, "merge", str(netlist), str(mode_a),
+                                 str(mode_b), "-o", str(tmp / "out"))
+        assert code == 0
+        assert err == ""
+
+    def test_injected_step_fault_is_warning_not_crash(self, cli_files,
+                                                      capsys, monkeypatch):
+        tmp, netlist, mode_a, mode_b = cli_files
+
+        import repro.core.merger as merger
+
+        real = merger.merge_exceptions
+
+        def explode(context):
+            if any(m.name == "modeB" for m in context.modes):
+                raise RuntimeError("injected CLI fault")
+            return real(context)
+
+        monkeypatch.setattr("repro.core.merger.merge_exceptions", explode)
+        code, out, err = run_cli(capsys, "--policy", "lenient",
+                                 "merge", str(netlist), str(mode_a),
+                                 str(mode_b), "-o", str(tmp / "out"))
+        assert code == 1
+        assert "not merged modeB" in out or "modeB" in err
+        # modeA still produced an output file.
+        assert (tmp / "out" / "modeA.sdc").exists()
+
+    def test_injected_step_fault_strict_exits_two(self, cli_files, capsys,
+                                                  monkeypatch):
+        tmp, netlist, mode_a, mode_b = cli_files
+
+        from repro.errors import NoClockError
+
+        def explode(*args, **kwargs):
+            raise NoClockError("injected strict fault")
+
+        monkeypatch.setattr("repro.core.merger.merge_clocks", explode)
+        code, out, err = run_cli(capsys, "merge", str(netlist), str(mode_a),
+                                 str(mode_b), "-o", str(tmp / "out"))
+        assert code == 2
+        assert "[TIM001]" in err
+
+
+class TestDiagnosticsArtifact:
+    def test_artifact_written_on_failure(self, cli_files, capsys):
+        tmp, netlist, mode_a, mode_b = cli_files
+        artifact = tmp / "diag.json"
+        code, out, err = run_cli(capsys, "--diagnostics", str(artifact),
+                                 "merge", str(tmp / "ghost.v"), str(mode_a),
+                                 "-o", str(tmp / "out"))
+        assert code == 2
+        record = json.loads(artifact.read_text())
+        assert record["exit_code"] == 2
+        assert record["diagnostics"][0]["code"] == "IO001"
+        assert record["diagnostics"][0]["hint"]
+
+    def test_artifact_written_on_clean_run(self, cli_files, capsys):
+        tmp, netlist, mode_a, mode_b = cli_files
+        artifact = tmp / "diag.json"
+        code, out, err = run_cli(capsys, "--diagnostics", str(artifact),
+                                 "merge", str(netlist), str(mode_a),
+                                 str(mode_b), "-o", str(tmp / "out"))
+        assert code == 0
+        record = json.loads(artifact.read_text())
+        assert record["diagnostics"] == []
+        assert record["exit_code"] == 0

@@ -1,0 +1,178 @@
+"""Fault injection: exceptions raised inside each merge-pipeline step.
+
+Monkeypatches every stage of ``merge_modes`` to raise and asserts the
+run-level invariant under LENIENT: the run completes, the offending
+mode(s) are demoted with a structured diagnostic, sibling groups are
+untouched — and under STRICT the exception still propagates untouched.
+"""
+
+import pytest
+
+from repro.core import merge_all, merge_modes
+from repro.core.merger import MergeOptions
+from repro.diagnostics import DegradationPolicy, DiagnosticCollector
+from repro.errors import MergeStepError
+from repro.sdc import parse_mode
+
+pytestmark = pytest.mark.faultinject
+
+MODE_A = """
+create_clock -name CK -period 10 [get_ports clk]
+set_false_path -to [get_pins rB/D]
+"""
+
+MODE_B = """
+create_clock -name CK -period 10 [get_ports clk]
+set_false_path -from [get_pins rA/CP]
+"""
+
+#: Conflicting clock period — never mergeable with A/B, so runs always
+#: contain a second, disjoint group.
+MODE_C = """
+create_clock -name CK -period 99 [get_ports clk]
+"""
+
+#: Every stage wrapped by merge_modes' per-step isolation, as
+#: (step name, module attribute to patch).
+STEPS = [
+    ("clock_union", "repro.core.merger.merge_clocks"),
+    ("clock_constraints", "repro.core.merger.merge_clock_constraints"),
+    ("external_delays", "repro.core.merger.merge_external_delays"),
+    ("case_analysis", "repro.core.merger.merge_case_analysis"),
+    ("disable_timing", "repro.core.merger.merge_disable_timing"),
+    ("drive_load", "repro.core.merger.merge_drive_load"),
+    ("clock_exclusivity", "repro.core.merger.merge_clock_exclusivity"),
+    ("clock_refinement", "repro.core.merger.refine_clock_network"),
+    ("exceptions", "repro.core.merger.merge_exceptions"),
+    ("data_refinement", "repro.core.merger.refine_data_clocks"),
+    ("three_pass", "repro.core.merger.run_three_pass"),
+    ("equivalence_validation", "repro.core.equivalence.check_equivalence"),
+]
+
+LENIENT = MergeOptions(policy=DegradationPolicy.LENIENT)
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def _modes():
+    return [parse_mode(MODE_A, "A"), parse_mode(MODE_B, "B")]
+
+
+@pytest.mark.parametrize("step_name,target", STEPS,
+                         ids=[s[0] for s in STEPS])
+class TestEveryStep:
+    def test_lenient_run_completes_with_diagnostic(self, pipeline_netlist,
+                                                   monkeypatch, step_name,
+                                                   target):
+        def explode(*args, **kwargs):
+            raise Boom(f"injected into {step_name}")
+
+        monkeypatch.setattr(target, explode)
+        collector = DiagnosticCollector()
+        run = merge_all(pipeline_netlist, _modes(), LENIENT,
+                        collector=collector)
+        # Invariant: every mode lands in exactly one outcome.
+        seen = sorted(n for o in run.outcomes for n in o.mode_names)
+        assert seen == ["A", "B"]
+        # Nothing merged (the fault hits every attempt), everything
+        # failed precisely, and each failure names the injected step.
+        assert run.failed_outcomes
+        for outcome in run.failed_outcomes:
+            assert step_name in outcome.error
+            assert "injected" in outcome.error
+        assert run.diagnostics
+        assert any(step_name in d.message for d in run.diagnostics)
+        assert list(collector) == run.diagnostics
+
+    def test_strict_propagates_the_raw_exception(self, pipeline_netlist,
+                                                 monkeypatch, step_name,
+                                                 target):
+        def explode(*args, **kwargs):
+            raise Boom(f"injected into {step_name}")
+
+        monkeypatch.setattr(target, explode)
+        with pytest.raises(Boom):
+            merge_modes(pipeline_netlist, _modes())
+
+    def test_lenient_merge_modes_names_the_step(self, pipeline_netlist,
+                                                monkeypatch, step_name,
+                                                target):
+        def explode(*args, **kwargs):
+            raise Boom("kaboom")
+
+        monkeypatch.setattr(target, explode)
+        with pytest.raises(MergeStepError) as excinfo:
+            merge_modes(pipeline_netlist, _modes(), options=LENIENT)
+        assert excinfo.value.step == step_name
+        assert excinfo.value.mode_names == ["A", "B"]
+        assert isinstance(excinfo.value.cause, Boom)
+
+
+class TestGroupIsolation:
+    def test_failed_group_never_takes_down_siblings(self, pipeline_netlist,
+                                                    monkeypatch):
+        """Fault scoped to group {A, B}; disjoint group {C} must merge."""
+        import repro.core.merger as merger
+
+        real = merger.merge_exceptions
+
+        def explode(context):
+            if {m.name for m in context.modes} & {"A", "B"}:
+                raise Boom("scoped fault")
+            return real(context)
+
+        monkeypatch.setattr("repro.core.merger.merge_exceptions", explode)
+        modes = _modes() + [parse_mode(MODE_C, "C")]
+        run = merge_all(pipeline_netlist, modes, LENIENT)
+        by_names = {tuple(o.mode_names): o for o in run.outcomes}
+        # C is untouched by the fault and must have produced a mode.
+        assert by_names[("C",)].result is not None
+        # A and B each failed individually with the precise reason.
+        assert by_names[("A",)].result is None
+        assert by_names[("B",)].result is None
+        assert "scoped fault" in by_names[("A",)].error
+
+    def test_demotion_rescues_the_survivors(self, pipeline_netlist,
+                                            monkeypatch):
+        """Fault scoped to mode B: A must still merge, B is demoted."""
+        import repro.core.merger as merger
+
+        real = merger.merge_exceptions
+
+        def explode(context):
+            if any(m.name == "B" for m in context.modes):
+                raise Boom("B is cursed")
+            return real(context)
+
+        monkeypatch.setattr("repro.core.merger.merge_exceptions", explode)
+        run = merge_all(pipeline_netlist, _modes(), LENIENT)
+        by_names = {tuple(o.mode_names): o for o in run.outcomes}
+        assert by_names[("A",)].result is not None
+        assert by_names[("B",)].result is None
+        assert "B is cursed" in by_names[("B",)].error
+        assert any(d.code == "MRG002" for d in run.diagnostics)
+
+    def test_strict_merge_all_still_raises(self, pipeline_netlist,
+                                           monkeypatch):
+        def explode(*args, **kwargs):
+            raise Boom("no recovery requested")
+
+        monkeypatch.setattr("repro.core.merger.merge_clocks", explode)
+        with pytest.raises(Boom):
+            merge_all(pipeline_netlist, _modes())
+
+    def test_unmergeable_mode_constructor_failure(self, pipeline_netlist,
+                                                  monkeypatch):
+        """Even a singleton whose merge fails becomes an outcome."""
+        def explode(*args, **kwargs):
+            raise Boom("total failure")
+
+        monkeypatch.setattr("repro.core.merger.merge_clocks", explode)
+        run = merge_all(pipeline_netlist, [parse_mode(MODE_A, "A")], LENIENT)
+        assert len(run.outcomes) == 1
+        outcome = run.outcomes[0]
+        assert outcome.result is None
+        assert "total failure" in outcome.error
+        assert run.diagnostics

@@ -1,0 +1,109 @@
+"""Fault injection: systematically mangled SDC text.
+
+Deterministic counterpart of the hypothesis recovery properties: a
+catalogue of specific damage patterns seen in real constraint decks,
+each asserted to produce a parsed mode plus precise diagnostics under
+PERMISSIVE — and the exact historical exception under STRICT.
+"""
+
+import pytest
+
+from repro.diagnostics import DegradationPolicy, DiagnosticCollector
+from repro.errors import SdcCommandError, SdcError, SdcSyntaxError
+from repro.sdc import parse_sdc
+
+pytestmark = pytest.mark.faultinject
+
+GOOD = "create_clock -name CK -period 10 [get_ports clk]"
+
+#: (description, damaged text, strict exception, expected code)
+FAULTS = [
+    ("unsupported command",
+     "set_ideal_net [get_nets n1]", SdcCommandError, "SDC001"),
+    ("unknown option",
+     "create_clock -name CK -frequency 100 [get_ports clk]",
+     SdcCommandError, "SDC003"),
+    ("missing option value",
+     "create_clock -name CK -period", SdcCommandError, "SDC003"),
+    ("non-numeric value",
+     "create_clock -name CK -period ten [get_ports clk]",
+     SdcCommandError, "SDC003"),
+    ("missing required option",
+     "create_clock -name CK [get_ports clk]", SdcCommandError, "SDC003"),
+    ("unterminated bracket",
+     "create_clock -name CK -period 10 [get_ports clk",
+     SdcSyntaxError, "SDC002"),
+    ("unterminated brace",
+     "set_clock_groups -group {CK -group {X}", SdcSyntaxError, "SDC002"),
+    ("unterminated string",
+     'create_clock -name CK -period 10 -comment "half', SdcSyntaxError,
+     "SDC002"),
+    ("unbalanced close bracket",
+     "set_false_path -to ] stage2/D", SdcSyntaxError, "SDC002"),
+    ("command starts with a bracket",
+     "[get_ports clk]", SdcSyntaxError, "SDC002"),
+    ("case analysis with junk value",
+     "set_case_analysis maybe [get_ports clk]", SdcCommandError, "SDC003"),
+    ("clock groups with one group",
+     "set_clock_groups -group {CK}", SdcCommandError, "SDC003"),
+    ("negative clock period",
+     "create_clock -name CK -period -10 [get_ports clk]",
+     None, "SDC003"),
+]
+
+
+class TestDamageCatalogue:
+    @pytest.mark.parametrize("description,text,strict_exc,code", FAULTS,
+                             ids=[f[0].replace(" ", "-") for f in FAULTS])
+    def test_permissive_skips_and_records(self, description, text,
+                                          strict_exc, code):
+        result = parse_sdc(GOOD + "\n" + text,
+                           policy=DegradationPolicy.PERMISSIVE)
+        # The healthy command before the damage always survives.
+        assert len(result.mode) == 1
+        assert [d.code for d in result.diagnostics] == [code]
+        # Line-accurate: the damage is on (logical) line 2.
+        assert result.diagnostics[0].line == 2
+
+    @pytest.mark.parametrize("description,text,strict_exc,code",
+                             [f for f in FAULTS if f[2] is not None],
+                             ids=[f[0].replace(" ", "-")
+                                  for f in FAULTS if f[2] is not None])
+    def test_strict_raises_the_historical_exception(self, description, text,
+                                                    strict_exc, code):
+        with pytest.raises(strict_exc):
+            parse_sdc(GOOD + "\n" + text)
+
+    def test_negative_period_still_accepted_under_strict(self):
+        """Historical behaviour preserved: strict does not add validation."""
+        result = parse_sdc("create_clock -name CK -period -10 "
+                           "[get_ports clk]")
+        assert len(result.mode) == 1
+
+
+class TestRecoveryScope:
+    def test_lenient_recovers_commands_but_not_syntax(self):
+        text = GOOD + "\nbogus_command 1"
+        result = parse_sdc(text, policy=DegradationPolicy.LENIENT)
+        assert result.skipped == ["bogus_command"]
+        with pytest.raises(SdcSyntaxError):
+            parse_sdc(GOOD + "\nset_false_path -to [get_pins x",
+                      policy=DegradationPolicy.LENIENT)
+
+    def test_damage_on_every_line_still_returns_a_mode(self):
+        text = "\n".join(["???", "[", "create_clock -period", "}{",
+                          GOOD, 'x "', "set_case_analysis 2 [get_ports a]"])
+        collector = DiagnosticCollector()
+        result = parse_sdc(text, policy=DegradationPolicy.PERMISSIVE,
+                           collector=collector, source="hostile.sdc")
+        assert len(result.mode) == 1  # GOOD survived
+        assert len(result.diagnostics) >= 5
+        assert all(d.source == "hostile.sdc" for d in result.diagnostics)
+
+    def test_diagnostics_never_contain_sdc_error_escapes(self):
+        """The invariant, stated directly: PERMISSIVE never raises."""
+        for _, text, _, _ in FAULTS:
+            try:
+                parse_sdc(text, policy=DegradationPolicy.PERMISSIVE)
+            except SdcError as exc:  # pragma: no cover - invariant breach
+                pytest.fail(f"PERMISSIVE raised {exc!r} on {text!r}")

@@ -1,0 +1,110 @@
+"""Property tests for recovery-mode SDC parsing.
+
+The contract of :data:`~repro.diagnostics.DegradationPolicy.PERMISSIVE`:
+*arbitrarily* damaged SDC text never raises anything except
+:class:`~repro.errors.SdcError` subclasses (and in practice nothing at
+all), and every command skipped by recovery yields exactly one
+diagnostic.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.diagnostics import DegradationPolicy, DiagnosticCollector
+from repro.errors import SdcError
+from repro.sdc import parse_sdc
+
+#: Seed corpus of well-formed SDC the mangler corrupts.
+SEED_SDC = """\
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkB -period 12.5 [get_ports clk2]
+create_generated_clock -name gck -source [get_ports clk1] -divide_by 2 [get_pins div/Q]
+set_clock_groups -physically_exclusive -group {clkA} -group {clkB}
+set_input_delay 2.0 -clock clkA [get_ports din]
+set_output_delay 1.5 -clock clkB [get_ports dout]
+set_case_analysis 0 [get_ports test_en]
+set_false_path -from [get_clocks clkA] -to [get_clocks clkB]
+set_multicycle_path 2 -setup -through [get_pins core/alu/Z]
+set_max_delay 5 -from [get_ports din]
+set_disable_timing [get_cells lockup]
+set_load 0.4 [get_ports dout]
+"""
+
+mangle_bytes = st.lists(
+    st.tuples(st.integers(0, len(SEED_SDC) - 1),
+              st.sampled_from(list(string.printable[:95]) + ["[", "]", "{",
+                                                             "}", '"', "\\"])),
+    min_size=0, max_size=12)
+
+
+@st.composite
+def mangled_sdc(draw):
+    """SEED_SDC with random byte replacements, insertions and deletions."""
+    text = list(SEED_SDC)
+    for pos, char in draw(mangle_bytes):
+        action = draw(st.sampled_from(["replace", "insert", "delete"]))
+        pos = min(pos, len(text) - 1)
+        if not text:
+            break
+        if action == "replace":
+            text[pos] = char
+        elif action == "insert":
+            text.insert(pos, char)
+        else:
+            del text[pos]
+    return "".join(text)
+
+
+arbitrary_text = st.text(
+    alphabet=string.printable, min_size=0, max_size=400)
+
+
+class TestPermissiveParsing:
+    @given(mangled_sdc())
+    @settings(max_examples=300, deadline=None)
+    def test_mangled_text_never_raises_foreign_exceptions(self, text):
+        try:
+            result = parse_sdc(text, policy=DegradationPolicy.PERMISSIVE)
+        except SdcError:
+            # Tolerated by the stated contract, though recovery should
+            # normally swallow these too.
+            return
+        assert result.mode is not None
+
+    @given(mangled_sdc())
+    @settings(max_examples=300, deadline=None)
+    def test_every_skipped_command_yields_exactly_one_diagnostic(self, text):
+        result = parse_sdc(text, policy=DegradationPolicy.PERMISSIVE)
+        # Skipped commands produce SDC001/SDC003; mangled lines SDC002.
+        command_diags = [d for d in result.diagnostics
+                         if d.code in ("SDC001", "SDC003")]
+        assert len(command_diags) == len(result.skipped)
+
+    @given(arbitrary_text)
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text_parses_permissively(self, text):
+        collector = DiagnosticCollector()
+        result = parse_sdc(text, policy=DegradationPolicy.PERMISSIVE,
+                           collector=collector)
+        assert list(collector) == result.diagnostics
+        for diagnostic in result.diagnostics:
+            assert diagnostic.code.startswith("SDC")
+
+    @given(mangled_sdc())
+    @settings(max_examples=200, deadline=None)
+    def test_lenient_only_raises_sdc_errors(self, text):
+        try:
+            parse_sdc(text, policy=DegradationPolicy.LENIENT)
+        except SdcError:
+            pass  # syntax damage still raises under LENIENT — by design
+
+    @given(mangled_sdc())
+    @settings(max_examples=100, deadline=None)
+    def test_permissive_is_deterministic(self, text):
+        a = parse_sdc(text, policy=DegradationPolicy.PERMISSIVE)
+        b = parse_sdc(text, policy=DegradationPolicy.PERMISSIVE)
+        assert len(a.mode) == len(b.mode)
+        assert a.skipped == b.skipped
+        assert [d.code for d in a.diagnostics] == [d.code
+                                                  for d in b.diagnostics]

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import errors
+from repro.diagnostics import diagnostic_from_error
 
 
 class TestHierarchy:
@@ -55,3 +56,72 @@ class TestHierarchy:
         exc = errors.NotMergeableError("func", "scan", "clock blocked")
         assert exc.mode_a == "func" and exc.mode_b == "scan"
         assert "clock blocked" in str(exc)
+
+    def test_merge_step_error_fields(self):
+        cause = ValueError("inner boom")
+        exc = errors.MergeStepError("clock_union", ["A", "B"], cause)
+        assert exc.step == "clock_union"
+        assert exc.mode_names == ["A", "B"]
+        assert exc.cause is cause
+        assert "clock_union" in str(exc) and "inner boom" in str(exc)
+
+
+#: Every leaf with its structured fields and a message fragment that
+#: str() must carry.  Used for the round-trip checks below.
+STRUCTURED_CASES = [
+    (errors.DuplicateObjectError("port", "p1"),
+     {"kind": "port", "name": "p1"}, "p1"),
+    (errors.VerilogSyntaxError("bad module", 12),
+     {"line": 12}, "line 12"),
+    (errors.SdcSyntaxError("unterminated", 7),
+     {"line": 7}, "line 7"),
+    (errors.SdcCommandError("create_clock", "missing -period", 9),
+     {"command": "create_clock", "line": 9}, "create_clock"),
+    (errors.CombinationalLoopError(["u1/Z", "u2/Z"]),
+     {"cycle_pins": ["u1/Z", "u2/Z"]}, "u1/Z -> u2/Z"),
+    (errors.NotMergeableError("func", "scan", "clock blocked"),
+     {"mode_a": "func", "mode_b": "scan", "reason": "clock blocked"},
+     "clock blocked"),
+    (errors.MergeStepError("exceptions", ["A", "B"], RuntimeError("boom")),
+     {"step": "exceptions", "mode_names": ["A", "B"], "cause": "boom"},
+     "exceptions"),
+]
+
+
+class TestStructuredRoundTrip:
+    """Structured fields survive str() and the trip into a Diagnostic."""
+
+    @pytest.mark.parametrize("exc,fields,fragment", STRUCTURED_CASES,
+                             ids=lambda v: type(v).__name__
+                             if isinstance(v, Exception) else None)
+    def test_details_carries_fields(self, exc, fields, fragment):
+        details = exc.details()
+        for key, value in fields.items():
+            assert details[key] == value
+        assert fragment in str(exc)
+
+    @pytest.mark.parametrize("exc,fields,fragment", STRUCTURED_CASES,
+                             ids=lambda v: type(v).__name__
+                             if isinstance(v, Exception) else None)
+    def test_diagnostic_round_trip(self, exc, fields, fragment):
+        diagnostic = diagnostic_from_error(exc, source="unit")
+        assert fragment in diagnostic.message
+        for key, value in fields.items():
+            assert diagnostic.details[key] == value
+        if "line" in fields:
+            assert diagnostic.line == fields["line"]
+
+    def test_base_error_has_empty_details(self):
+        assert errors.ReproError("plain").details() == {}
+
+    def test_every_leaf_exposes_details(self):
+        leaves = [
+            errors.UnknownCellError("x"),
+            errors.ConnectivityError("c"),
+            errors.SdcLookupError("l"),
+            errors.NoClockError("n"),
+            errors.RefinementError("r"),
+            errors.EquivalenceError("e"),
+        ]
+        for exc in leaves:
+            assert isinstance(exc.details(), dict)
