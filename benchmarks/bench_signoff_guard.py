@@ -1,0 +1,90 @@
+"""Bench: sign-off guard overhead on clean merges.
+
+The guard only engages when a group fails its equivalence validation, so
+on healthy inputs its cost must be negligible — the whole point of
+guarding every run by default in a flow.  This bench merges a clean
+multi-mode workload with and without ``signoff_guard`` and asserts the
+overhead stays under 15%.
+"""
+
+import time
+
+from repro.core import merge_all
+from repro.core.merger import MergeOptions
+from repro.diagnostics import DegradationPolicy
+from repro.netlist import NetlistBuilder
+from repro.sdc import parse_mode
+
+MODE_A = """
+create_clock -name CK -period 10 [get_ports clk]
+set_false_path -to [get_pins rB/D]
+set_multicycle_path 2 -through [get_pins inv1/Z]
+"""
+
+MODE_B = """
+create_clock -name CK -period 10 [get_ports clk]
+set_false_path -from [get_pins rA/CP]
+"""
+
+MODE_C = """
+create_clock -name CK -period 10 [get_ports clk]
+"""
+
+
+def _netlist():
+    b = NetlistBuilder("pipe")
+    b.inputs("clk", "in1")
+    rA = b.dff("rA", d="in1", clk="clk")
+    inv1 = b.inv("inv1", rA.q)
+    rB = b.dff("rB", d=inv1.out, clk="clk")
+    b.output("out1", rB.q)
+    return b.build()
+
+
+def _modes():
+    return [parse_mode(MODE_A, "A"), parse_mode(MODE_B, "B"),
+            parse_mode(MODE_C, "C")]
+
+
+def _best_of(fn, repeats=7, loops=3):
+    """Minimum wall-clock of ``loops`` calls, over ``repeats`` samples."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_signoff_guard_overhead(benchmark):
+    netlist = _netlist()
+    plain_opts = MergeOptions(policy=DegradationPolicy.LENIENT)
+    guarded_opts = MergeOptions(policy=DegradationPolicy.LENIENT,
+                                signoff_guard=True)
+
+    plain = lambda: merge_all(netlist, _modes(), plain_opts)
+    guarded = lambda: merge_all(netlist, _modes(), guarded_opts)
+
+    # Identical, clean results on a healthy workload: the guard never
+    # engages, no SGN diagnostics, no repairs.
+    plain_run, guarded_run = plain(), guarded()
+    assert all(o.result is not None and o.result.ok
+               for o in guarded_run.outcomes)
+    assert guarded_run.repaired_count == 0
+    assert not any(d.code.startswith("SGN")
+                   for d in guarded_run.diagnostics)
+    assert plain_run.merged_count == guarded_run.merged_count
+
+    plain_s = _best_of(plain)
+    guarded_s = _best_of(guarded)
+    overhead = guarded_s / plain_s - 1.0
+
+    print(f"\nplain:    {plain_s * 1000:8.2f} ms")
+    print(f"guarded:  {guarded_s * 1000:8.2f} ms")
+    print(f"overhead: {overhead * 100:8.2f} %")
+    assert overhead < 0.15, (
+        f"sign-off guard costs {overhead:.1%} on clean merges "
+        f"(budget: 15%)")
+
+    benchmark(guarded)

@@ -17,10 +17,13 @@ Quickstart::
     print(result.summary())
 """
 
+from repro.checkpoint import MergeCheckpoint
 from repro.core import (
     MergeOptions,
     MergeResult,
     MergingRun,
+    SignoffGuard,
+    WatchdogBudget,
     build_mergeability_graph,
     check_mode_equivalence,
     merge_all,
@@ -55,9 +58,12 @@ __all__ = [
     "DegradationPolicy",
     "Diagnostic",
     "DiagnosticCollector",
+    "MergeCheckpoint",
     "MergeOptions",
     "MergeResult",
     "MergingRun",
+    "SignoffGuard",
+    "WatchdogBudget",
     "Mode",
     "ModeSet",
     "Netlist",

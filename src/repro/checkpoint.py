@@ -1,0 +1,255 @@
+"""Checkpoint/resume for multi-group merge runs.
+
+A design-level merge of a mode-rich SoC can run for a long time; a
+killed run used to lose every completed group.  ``merge_all`` now
+serializes its state after *every* merge group into a schema-versioned
+JSON file, written atomically (temp file + ``os.replace``) so even a
+``kill -9`` mid-save leaves the previous consistent snapshot behind.
+``repro-merge merge --checkpoint run.ckpt`` resumes from the last
+completed group.
+
+Staleness is handled by content hashing at two granularities:
+
+* a **run-level hash** over the raw input files (CLI) or whatever the
+  embedding flow passes as ``input_hash`` — a mismatch discards the
+  whole checkpoint with an ``SGN008`` diagnostic;
+* a **group-level hash** over the netlist fingerprint, the canonical
+  SDC text of the group's modes and the merge options — so editing one
+  mode's SDC only invalidates the groups that contain it.
+
+A restored group replays exactly: the merged mode's SDC text, the JSON
+report record, runtimes, validation state and the diagnostics the group
+produced are all stored verbatim, so a resumed run's outputs are
+byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.diagnostics import Diagnostic, DiagnosticCollector, Severity
+from repro.netlist.netlist import Netlist
+from repro.sdc.mode import Mode
+from repro.sdc.parser import parse_mode
+from repro.sdc.writer import write_mode
+
+#: Version of the checkpoint file layout.  Bump on any incompatible
+#: change; files with a different version are discarded, never guessed at.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def content_hash(*parts: str) -> str:
+    """Stable hex digest of any number of text fragments."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8", "replace"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def netlist_fingerprint(netlist: Netlist) -> str:
+    """Content hash of a netlist via its canonical Verilog emission."""
+    from repro.netlist.verilog import write_verilog
+
+    return content_hash(write_verilog(netlist))
+
+
+class RestoredMergeResult:
+    """Duck-typed stand-in for a ``MergeResult`` loaded from a checkpoint.
+
+    Exposes exactly the surface the reporting/CLI layer consumes:
+    ``merged`` (a re-parsed :class:`Mode`), ``ok``, ``runtime_seconds``,
+    ``validated``, ``validation_mismatches``, ``to_dict()`` (the stored
+    record, replayed verbatim) and ``summary()``.
+    """
+
+    def __init__(self, merged: Mode, ok: bool, runtime_seconds: float,
+                 validated: bool, validation_mismatches: List[str],
+                 record: dict):
+        self.merged = merged
+        self.ok = ok
+        self.runtime_seconds = runtime_seconds
+        self.validated = validated
+        self.validation_mismatches = list(validation_mismatches)
+        self._record = record
+
+    def to_dict(self) -> dict:
+        return self._record
+
+    def summary(self) -> str:
+        return (f"merged mode {self.merged.name!r} restored from "
+                f"checkpoint ({len(self.merged)} constraints)")
+
+    def __repr__(self) -> str:
+        return f"RestoredMergeResult({self.merged.name!r})"
+
+
+class MergeCheckpoint:
+    """One merge run's persistent state, keyed by analysis group."""
+
+    def __init__(self, path, input_hash: str = ""):
+        self.path = Path(path)
+        self.input_hash = input_hash
+        self.groups: Dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path, input_hash: str = "",
+             collector: Optional[DiagnosticCollector] = None
+             ) -> "MergeCheckpoint":
+        """Load ``path`` if it holds a compatible, matching checkpoint.
+
+        Unreadable, corrupt, version-mismatched or stale files are
+        discarded with an ``SGN008`` diagnostic — resuming must never be
+        less robust than starting over.
+        """
+        checkpoint = cls(path, input_hash)
+        target = Path(path)
+        if not target.exists():
+            return checkpoint
+        try:
+            payload = json.loads(target.read_text())
+        except (OSError, ValueError) as exc:
+            if collector is not None:
+                collector.report(
+                    "SGN008",
+                    f"checkpoint {target} is unreadable ({exc}); "
+                    f"starting from scratch",
+                    severity=Severity.WARNING, source=str(target))
+            return checkpoint
+        if payload.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
+            if collector is not None:
+                collector.report(
+                    "SGN008",
+                    f"checkpoint {target} has schema version "
+                    f"{payload.get('schema_version')!r}, expected "
+                    f"{CHECKPOINT_SCHEMA_VERSION}; starting from scratch",
+                    severity=Severity.WARNING, source=str(target))
+            return checkpoint
+        if input_hash and payload.get("input_hash") \
+                and payload["input_hash"] != input_hash:
+            if collector is not None:
+                collector.report(
+                    "SGN008",
+                    f"checkpoint {target} was written for different "
+                    f"inputs; starting from scratch",
+                    severity=Severity.INFO, source=str(target))
+            return checkpoint
+        checkpoint.groups = dict(payload.get("groups", {}))
+        return checkpoint
+
+    def save(self) -> None:
+        """Atomic write: a half-written file can never shadow good state."""
+        payload = {
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "input_hash": self.input_hash,
+            "groups": self.groups,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+    # hashing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def group_hash(netlist: Netlist, modes: Sequence[Mode],
+                   options) -> str:
+        """Content hash that invalidates a cached group when its inputs
+        (netlist, any member mode, or the merge tunables) change."""
+        opts_key = "|".join(str(v) for v in (
+            options.tolerance, options.max_iterations, options.validate,
+            getattr(options.policy, "value", options.policy),
+            options.budget_seconds, options.max_refinement_passes,
+            options.max_clock_graph_nodes, options.signoff_guard,
+            options.max_repair_attempts,
+        ))
+        parts = [netlist_fingerprint(netlist), opts_key]
+        for mode in modes:
+            parts.append(mode.name)
+            parts.append(write_mode(mode, header=False))
+        return content_hash(*parts)
+
+    # ------------------------------------------------------------------
+    # record / restore
+    # ------------------------------------------------------------------
+    def record(self, key: str, group_hash: str, outcomes,
+               diagnostics: Sequence[Diagnostic]) -> None:
+        """Store the final outcomes one analysis group produced."""
+        stored = []
+        for outcome in outcomes:
+            result = outcome.result
+            entry = {
+                "modes": list(outcome.mode_names),
+                "error": outcome.error,
+                "repaired": getattr(outcome, "repaired", False),
+                "result": None,
+            }
+            if result is not None:
+                entry["result"] = {
+                    "name": result.merged.name,
+                    "sdc": write_mode(result.merged),
+                    "ok": result.ok,
+                    "runtime_seconds": result.runtime_seconds,
+                    "validated": result.validated,
+                    "validation_mismatches":
+                        list(result.validation_mismatches),
+                    "dict": result.to_dict(),
+                }
+            stored.append(entry)
+        self.groups[key] = {
+            "hash": group_hash,
+            "outcomes": stored,
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        }
+
+    def lookup(self, key: str, group_hash: str) -> Optional[dict]:
+        """The stored entry for a group, or None when absent/stale."""
+        entry = self.groups.get(key)
+        if entry is None:
+            return None
+        if entry.get("hash") != group_hash:
+            return None
+        return entry
+
+    def discard(self, key: str) -> None:
+        self.groups.pop(key, None)
+
+    @staticmethod
+    def restore_outcome(stored: dict):
+        """(mode_names, result-or-None, error, repaired) from one entry."""
+        result = None
+        record = stored.get("result")
+        if record is not None:
+            merged = parse_mode(record["sdc"], record["name"])
+            result = RestoredMergeResult(
+                merged=merged,
+                ok=record["ok"],
+                runtime_seconds=record["runtime_seconds"],
+                validated=record["validated"],
+                validation_mismatches=record["validation_mismatches"],
+                record=record["dict"],
+            )
+        return (list(stored["modes"]), result, stored.get("error", ""),
+                stored.get("repaired", False))
+
+    @staticmethod
+    def restore_diagnostics(entry: dict) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for record in entry.get("diagnostics", ()):
+            out.append(Diagnostic(
+                code=record["code"],
+                message=record["message"],
+                severity=Severity(record["severity"]),
+                source=record.get("source", ""),
+                line=record.get("line", 0),
+                hint=record.get("hint", ""),
+                details=record.get("details", {}),
+            ))
+        return out

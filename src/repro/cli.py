@@ -23,6 +23,12 @@ Exit-code contract (stable; scripts may rely on it):
 code, severity, source location, remediation hint — as a JSON artifact.
 A bad input file always exits ``2`` with a one-line diagnostic, never a
 raw traceback.
+
+``merge`` additionally accepts ``--signoff-guard`` (localize and repair a
+merge that fails its equivalence validation), ``--budget-seconds`` (a
+watchdog on each merge's refinement engines), ``--max-repair-attempts``
+and ``--checkpoint run.ckpt`` (save completed groups after every group;
+a re-run with the same inputs resumes instead of recomputing).
 """
 
 from __future__ import annotations
@@ -102,8 +108,23 @@ def cmd_merge(args: argparse.Namespace, policy: DegradationPolicy,
               collector: DiagnosticCollector) -> int:
     netlist = _load_netlist(args.netlist, args.liberty, collector)
     modes = _load_modes(args.sdc, policy, collector)
-    options = MergeOptions(policy=policy)
-    run = merge_all(netlist, modes, options, collector=collector)
+    options = MergeOptions(
+        policy=policy,
+        signoff_guard=args.signoff_guard,
+        max_repair_attempts=args.max_repair_attempts,
+        budget_seconds=args.budget_seconds,
+    )
+    checkpoint = None
+    if args.checkpoint:
+        from repro.checkpoint import MergeCheckpoint, content_hash
+
+        texts = [_read_text(args.netlist, collector)]
+        texts.extend(_read_text(path, collector) for path in args.sdc)
+        checkpoint = MergeCheckpoint.open(
+            args.checkpoint, input_hash=content_hash(*texts),
+            collector=collector)
+    run = merge_all(netlist, modes, options, collector=collector,
+                    checkpoint=checkpoint)
     print(format_merging_run(run))
     out_dir = Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -181,6 +202,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge.add_argument("--json", action="store_true",
                          help="also write merge_report.json to the output "
                               "directory")
+    p_merge.add_argument("--signoff-guard", action="store_true",
+                         help="on a failed equivalence validation, "
+                              "localize the culprit mode/constraint and "
+                              "repair the merge (SGN diagnostics)")
+    p_merge.add_argument("--max-repair-attempts", type=int, default=12,
+                         metavar="N",
+                         help="re-merge attempts the sign-off guard may "
+                              "spend per failing group (default 12)")
+    p_merge.add_argument("--budget-seconds", type=float, default=None,
+                         metavar="S",
+                         help="wall-clock watchdog budget for the "
+                              "refinement engines of each merge "
+                              "(default: unbounded)")
+    p_merge.add_argument("--checkpoint", default="", metavar="CKPT",
+                         help="checkpoint file: completed merge groups "
+                              "are saved here after every group and "
+                              "replayed on a re-run with unchanged inputs")
     p_merge.set_defaults(func=cmd_merge)
 
     p_audit = sub.add_parser("audit",
@@ -211,7 +249,7 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     policy = DegradationPolicy.coerce(args.policy)
-    collector = DiagnosticCollector()
+    collector = DiagnosticCollector(policy)
     try:
         code = args.func(args, policy, collector)
     except _HardFailure:

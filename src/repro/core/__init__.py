@@ -44,7 +44,9 @@ from repro.core.report import (
     format_merging_run,
     format_pass_table,
 )
+from repro.core.signoff import GuardedOutcome, SignoffGuard
 from repro.core.steps import Conflict, MergeContext, StepReport
+from repro.core.watchdog import WatchdogBudget
 from repro.core.three_pass import (
     ComparisonEntry,
     ThreePassOutcome,
@@ -61,14 +63,17 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "EquivalenceReport",
     "GroupOutcome",
+    "GuardedOutcome",
     "MergeContext",
     "MergeOptions",
     "MergeResult",
     "MergeabilityAnalysis",
     "MergingRun",
+    "SignoffGuard",
     "StepReport",
     "ThreePassOutcome",
     "ThreePassRefiner",
+    "WatchdogBudget",
     "build_mergeability_graph",
     "check_equivalence",
     "check_mode_equivalence",

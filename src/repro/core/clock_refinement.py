@@ -18,9 +18,10 @@ against the individual modes' (paper Constraint Set 3):
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.steps import MergeContext, StepReport
+from repro.core.watchdog import WatchdogBudget
 from repro.netlist.netlist import Pin, Port
 from repro.sdc.commands import ObjectRef, SetClockSense, SetDisableTiming
 from repro.timing.clocks import ClockPropagation
@@ -89,9 +90,15 @@ def find_extra_clock_frontier(graph, merged_prop: ClockPropagation,
     return frontier
 
 
-def refine_clock_network(context: MergeContext) -> StepReport:
+def refine_clock_network(context: MergeContext,
+                         budget: Optional[WatchdogBudget] = None
+                         ) -> StepReport:
     report = context.report("clock refinement (3.1.8)")
     graph = context.graph
+    if budget is not None:
+        # The per-mode propagation walks below visit every graph node;
+        # refuse up front rather than grinding through an oversized BFS.
+        budget.check_graph(graph.node_count, "clock_refinement")
 
     infer_disables_from_dropped_cases(context, report)
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.steps import MergeContext
 from repro.core.three_pass import ThreePassRefiner
+from repro.core.watchdog import WatchdogBudget
 from repro.netlist.netlist import Netlist
 from repro.sdc.mode import Mode
 
@@ -27,21 +28,34 @@ class EquivalenceReport:
     compared_mode_names: List[str] = field(default_factory=list)
     merged_mode_name: str = ""
 
-    def summary(self) -> str:
-        status = "EQUIVALENT" if self.equivalent else "NOT EQUIVALENT"
+    def summary(self, limit: Optional[int] = 20) -> str:
+        """Human-readable report; ``limit`` caps the mismatch listing.
+
+        The header always carries the *true* total mismatch count, so a
+        truncated listing (``limit`` mismatches shown, default 20;
+        ``None`` shows all) never hides the size of the problem.
+        """
+        total = len(self.mismatches)
+        status = "EQUIVALENT" if self.equivalent else (
+            f"NOT EQUIVALENT ({total} mismatches)")
         lines = [
             f"{self.merged_mode_name!r} vs modes "
             f"{self.compared_mode_names}: {status}",
         ]
-        lines.extend(f"  mismatch: {m}" for m in self.mismatches[:20])
-        if len(self.mismatches) > 20:
-            lines.append(f"  ... {len(self.mismatches) - 20} more")
+        shown = self.mismatches if limit is None else self.mismatches[:limit]
+        lines.extend(f"  mismatch: {m}" for m in shown)
+        if len(shown) < total:
+            lines.append(f"  ... {total - len(shown)} more "
+                         f"(of {total} total)")
         return "\n".join(lines)
 
 
-def check_equivalence(context: MergeContext) -> EquivalenceReport:
+def check_equivalence(context: MergeContext,
+                      budget: Optional[WatchdogBudget] = None
+                      ) -> EquivalenceReport:
     """Check a merge context's merged mode against its individual modes."""
-    refiner = ThreePassRefiner(context, max_iterations=1, apply_fixes=False)
+    refiner = ThreePassRefiner(context, max_iterations=1, apply_fixes=False,
+                               budget=budget)
     outcome = refiner.run()
     return EquivalenceReport(
         equivalent=not outcome.residuals,

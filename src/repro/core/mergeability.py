@@ -36,6 +36,7 @@ from repro.diagnostics import (
     DiagnosticCollector,
     Severity,
 )
+from repro.errors import BudgetExceededError, MergeStepError
 from repro.netlist.netlist import Netlist
 from repro.sdc.mode import Mode
 from repro.timing.clocks import ClockPropagation
@@ -247,6 +248,10 @@ class GroupOutcome:
     mode_names: List[str]
     result: Optional[MergeResult] = None
     error: str = ""
+    #: the sign-off guard changed something to produce this outcome
+    repaired: bool = False
+    #: this outcome was replayed from a checkpoint, not recomputed
+    restored: bool = False
 
     @property
     def merged(self) -> bool:
@@ -267,6 +272,16 @@ class MergingRun:
     def failed_outcomes(self) -> List[GroupOutcome]:
         """Groups that produced no merged mode (reason in ``.error``)."""
         return [o for o in self.outcomes if o.result is None]
+
+    @property
+    def repaired_count(self) -> int:
+        """Outcomes the sign-off guard had to repair."""
+        return sum(1 for o in self.outcomes if o.repaired)
+
+    @property
+    def restored_count(self) -> int:
+        """Outcomes replayed from a checkpoint."""
+        return sum(1 for o in self.outcomes if o.restored)
 
     @property
     def individual_count(self) -> int:
@@ -304,6 +319,8 @@ class MergingRun:
                     "modes": list(outcome.mode_names),
                     "merged": outcome.merged,
                     "error": outcome.error,
+                    "repaired": outcome.repaired,
+                    "restored": outcome.restored,
                     "result": outcome.result.to_dict()
                     if outcome.result else None,
                 }
@@ -337,7 +354,8 @@ class MergingRun:
 def merge_all(netlist: Netlist, modes: Sequence[Mode],
               options: Optional[MergeOptions] = None,
               analysis: Optional[MergeabilityAnalysis] = None,
-              collector: Optional[DiagnosticCollector] = None) -> MergingRun:
+              collector: Optional[DiagnosticCollector] = None,
+              checkpoint: Optional["MergeCheckpoint"] = None) -> MergingRun:
     """The end-to-end flow: analyze mergeability, then merge every group.
 
     A group whose full merge fails (rare: pairwise mergeability is not
@@ -351,6 +369,22 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
     group never takes down sibling groups; the invariant is that every
     input mode ends in exactly one outcome, either merged or kept
     individual with a reason.
+
+    With ``options.signoff_guard`` a group that merges but fails its
+    equivalence validation is handed to the
+    :class:`~repro.core.signoff.SignoffGuard`, which localizes the
+    culprit mode/constraint and repairs the merge (``SGN`` diagnostics)
+    before the plain bisection fallback runs.
+
+    A group that exceeds its :class:`~repro.core.watchdog.WatchdogBudget`
+    raises under STRICT and is *demoted whole* under a recovery policy —
+    its modes are kept individual (``SGN006``) rather than retrying the
+    expensive merge once per member.
+
+    ``checkpoint`` (a :class:`~repro.checkpoint.MergeCheckpoint`) makes
+    the run resumable: every completed analysis group is serialized
+    immediately, and groups whose content hash still matches are
+    replayed from the file instead of recomputed.
     """
     opts = options or MergeOptions()
     policy = DegradationPolicy.coerce(opts.policy)
@@ -368,6 +402,11 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
         strict=False,
         validate=opts.validate,
         policy=policy,
+        budget_seconds=opts.budget_seconds,
+        max_refinement_passes=opts.max_refinement_passes,
+        max_clock_graph_nodes=opts.max_clock_graph_nodes,
+        signoff_guard=opts.signoff_guard,
+        max_repair_attempts=opts.max_repair_attempts,
     )
 
     def try_merge(names: List[str]) -> MergeResult:
@@ -375,6 +414,21 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
         name = names[0] if len(names) == 1 else None
         return merge_modes(netlist, group_modes, name=name,
                            options=group_opts)
+
+    def guard_group(names: List[str], failed: MergeResult) -> bool:
+        """Sign-off guard hook; True when it produced final outcomes."""
+        from repro.core.signoff import SignoffGuard
+
+        guard = SignoffGuard(netlist, [by_name[n] for n in names],
+                             group_opts, sink)
+        repaired = guard.repair_group(names, failed)
+        if repaired is None:
+            return False
+        for outcome in repaired:
+            run.outcomes.append(GroupOutcome(
+                outcome.mode_names, outcome.result, error=outcome.error,
+                repaired=outcome.repaired))
+        return True
 
     def merge_group(names: List[str]) -> None:
         try:
@@ -387,14 +441,19 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
         if len(names) == 1 or result.ok:
             run.outcomes.append(GroupOutcome(names, result))
             return
+        if opts.signoff_guard and guard_group(names, result):
+            return
         half = len(names) // 2
-        run.outcomes.append(GroupOutcome(
-            names, None,
-            error=f"group merge left {len(result.outcome.residuals)} "
-                  f"residuals; bisecting"))
-        run.outcomes.pop()  # record only the final outcomes
         merge_group(names[:half])
         merge_group(names[half:])
+
+    def budget_exceeded(exc: BaseException) -> Optional[BudgetExceededError]:
+        if isinstance(exc, BudgetExceededError):
+            return exc
+        if isinstance(exc, MergeStepError) \
+                and isinstance(exc.cause, BudgetExceededError):
+            return exc.cause
+        return None
 
     def recover_group(names: List[str], exc: BaseException) -> None:
         """Demote the offending mode(s) instead of aborting the run."""
@@ -404,6 +463,19 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
             # failure as a structured outcome, never an exception.
             sink.capture(exc, source=names[0])
             run.outcomes.append(GroupOutcome(names, None, error=reason))
+            return
+        budget_exc = budget_exceeded(exc)
+        if budget_exc is not None:
+            # Retrying a budget-blown merge once per member would cost
+            # up to N more full budgets; degrade the group wholesale.
+            sink.report(
+                "SGN006",
+                f"group {{{', '.join(names)}}} exceeded its "
+                f"{budget_exc.kind} budget ({budget_exc}); keeping its "
+                f"modes individual",
+                severity=Severity.WARNING, source="+".join(names))
+            for name in names:
+                merge_group([name])
             return
         for i, culprit in enumerate(names):
             survivors = names[:i] + names[i + 1:]
@@ -430,7 +502,35 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
         merge_group(names[half:])
 
     for group in analysis.groups:
-        merge_group(list(group))
+        names = list(group)
+        group_hash = ""
+        if checkpoint is not None:
+            key = "+".join(names)
+            group_hash = checkpoint.group_hash(
+                netlist, [by_name[n] for n in names], group_opts)
+            entry = checkpoint.lookup(key, group_hash)
+            if entry is not None:
+                for stored in entry["outcomes"]:
+                    o_names, o_result, o_error, o_repaired = \
+                        checkpoint.restore_outcome(stored)
+                    run.outcomes.append(GroupOutcome(
+                        o_names, o_result, error=o_error,
+                        repaired=o_repaired, restored=True))
+                sink.extend(checkpoint.restore_diagnostics(entry))
+                sink.report(
+                    "SGN007",
+                    f"group {{{', '.join(names)}}} restored from "
+                    f"checkpoint",
+                    severity=Severity.INFO, source=key)
+                continue
+        outcome_mark = len(run.outcomes)
+        diag_mark = len(sink)
+        merge_group(names)
+        if checkpoint is not None:
+            checkpoint.record(key, group_hash,
+                              run.outcomes[outcome_mark:],
+                              sink.diagnostics[diag_mark:])
+            checkpoint.save()
     run.runtime_seconds = time.perf_counter() - start
     run.diagnostics = list(sink.diagnostics[first_diag:])
     return run

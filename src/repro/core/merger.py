@@ -29,6 +29,7 @@ from repro.core.exceptions_merge import merge_exceptions
 from repro.core.external_delays import merge_external_delays
 from repro.core.steps import Conflict, MergeContext, StepReport
 from repro.core.three_pass import ThreePassOutcome, run_three_pass
+from repro.core.watchdog import WatchdogBudget
 from repro.diagnostics import DegradationPolicy
 from repro.errors import MergeStepError, RefinementError
 from repro.netlist.netlist import Netlist
@@ -51,6 +52,28 @@ class MergeOptions:
     #: a step that raises is re-raised as :class:`MergeStepError` naming
     #: the failing stage, so ``merge_all`` can demote the offending modes
     policy: DegradationPolicy = DegradationPolicy.STRICT
+    #: wall-clock seconds the refinement engines of one merge may spend
+    #: (None = unbounded); exceeded -> BudgetExceededError / demotion
+    budget_seconds: Optional[float] = None
+    #: refinement fix-loop passes the watchdog tolerates (None = only
+    #: ``max_iterations`` applies, silently stopping instead of raising)
+    max_refinement_passes: Optional[int] = None
+    #: timing-graph nodes the clock-refinement BFS may walk (None = any)
+    max_clock_graph_nodes: Optional[int] = None
+    #: run the sign-off guard: on a failed equivalence validation,
+    #: localize the culprit mode/constraint and repair (merge_all only)
+    signoff_guard: bool = False
+    #: re-merge attempts the sign-off guard may spend per failing group
+    max_repair_attempts: int = 12
+
+    def watchdog(self) -> Optional[WatchdogBudget]:
+        """A fresh armed budget for one merge call, or None when unset."""
+        budget = WatchdogBudget(
+            budget_seconds=self.budget_seconds,
+            max_passes=self.max_refinement_passes,
+            max_graph_nodes=self.max_clock_graph_nodes,
+        )
+        return budget.start() if budget.enabled else None
 
 
 @dataclass
@@ -154,6 +177,7 @@ def merge_modes(netlist: Netlist, modes: Sequence[Mode],
             raise MergeStepError(step_name, mode_names, exc) from exc
 
     start = time.perf_counter()
+    budget = opts.watchdog()
     context = MergeContext(netlist, list(modes), name)
 
     # --- preliminary mode merging (3.1) ---
@@ -164,13 +188,13 @@ def merge_modes(netlist: Netlist, modes: Sequence[Mode],
     step("disable_timing", merge_disable_timing, context)
     step("drive_load", merge_drive_load, context, opts.tolerance)
     step("clock_exclusivity", merge_clock_exclusivity, context)
-    step("clock_refinement", refine_clock_network, context)
+    step("clock_refinement", refine_clock_network, context, budget)
     step("exceptions", merge_exceptions, context)
 
     # --- merged-mode refinement (3.2) ---
     step("data_refinement", refine_data_clocks, context)
     _report, outcome = step("three_pass", run_three_pass, context,
-                            opts.max_iterations)
+                            opts.max_iterations, budget)
 
     result = MergeResult(
         merged=context.merged,
@@ -181,7 +205,8 @@ def merge_modes(netlist: Netlist, modes: Sequence[Mode],
     if opts.validate:
         from repro.core.equivalence import check_equivalence
 
-        check = step("equivalence_validation", check_equivalence, context)
+        check = step("equivalence_validation", check_equivalence, context,
+                     budget)
         result.validated = True
         result.validation_mismatches = check.mismatches
 

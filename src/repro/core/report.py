@@ -62,6 +62,10 @@ def format_merging_run(run: MergingRun) -> str:
             status = "OK" if result.ok else (outcome.error or "not ok")
         else:
             status = "FAILED"
+        if outcome.repaired:
+            status += " [repaired]"
+        if outcome.restored:
+            status += " [restored]"
         body.append([
             "+".join(outcome.mode_names),
             str(len(outcome.mode_names)),
@@ -72,6 +76,14 @@ def format_merging_run(run: MergingRun) -> str:
     lines.append(format_table(
         ["Group", "#Modes", "#Constraints", "Merge time (s)", "Status"],
         body))
+    if run.repaired_count:
+        lines.append("")
+        lines.append(f"sign-off guard repaired {run.repaired_count} "
+                     f"outcome(s); see SGN diagnostics below")
+    if run.restored_count:
+        lines.append("")
+        lines.append(f"{run.restored_count} outcome(s) restored from "
+                     f"checkpoint")
     failed = run.failed_outcomes
     if failed:
         lines.append("")

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.steps import MergeContext, StepReport
+from repro.core.watchdog import WatchdogBudget
 from repro.sdc.commands import (
     Constraint,
     ObjectRef,
@@ -251,11 +252,14 @@ class ThreePassRefiner:
     """Drives the 3-pass comparison and fix loop for one merge context."""
 
     def __init__(self, context: MergeContext, max_iterations: int = 8,
-                 max_chain_depth: int = 48, apply_fixes: bool = True):
+                 max_chain_depth: int = 48, apply_fixes: bool = True,
+                 budget: Optional[WatchdogBudget] = None):
         self.context = context
         self.graph = context.graph
         self.max_iterations = max_iterations
         self.max_chain_depth = max_chain_depth
+        #: watchdog limits (wall clock / pass count); None = unbounded
+        self.budget = budget
         #: with apply_fixes=False the refiner only *checks* (equivalence
         #: mode): mismatches become residuals instead of fix constraints.
         self.apply_fixes = apply_fixes
@@ -350,6 +354,13 @@ class ThreePassRefiner:
         structural = list(self.outcome.residuals)
         collect = True
         for iteration in range(self.max_iterations):
+            if self.budget is not None:
+                # Only the fix loop consumes the pass budget; a checking
+                # run (equivalence mode) is bounded by wall clock alone.
+                if self.apply_fixes:
+                    self.budget.tick_pass("three_pass")
+                else:
+                    self.budget.check_time("three_pass")
             self.outcome.iterations = iteration + 1
             added_before = len(self.outcome.added)
             self.outcome.residuals = list(structural)
@@ -431,6 +442,8 @@ class ThreePassRefiner:
             return
 
         # ---------------- pass 2 ----------------
+        if self.budget is not None:
+            self.budget.check_time("three_pass")
         endpoints = frozenset(key[0] for key in ambiguous_pass2)
         ambiguous_keys = set(ambiguous_pass2)
         ind_pairs = self._ind_pair_rows(endpoints)
@@ -541,6 +554,8 @@ class ThreePassRefiner:
         ep = graph.node(ep_name)
         stack: List[Tuple[int, ...]] = [()]
         while stack:
+            if self.budget is not None:
+                self.budget.check_time("three_pass")
             chain = stack.pop()
             if len(chain) > self.max_chain_depth:
                 self.outcome.residuals.append(
@@ -690,10 +705,12 @@ class ThreePassRefiner:
         return None
 
 
-def run_three_pass(context: MergeContext, max_iterations: int = 8
+def run_three_pass(context: MergeContext, max_iterations: int = 8,
+                   budget: Optional[WatchdogBudget] = None
                    ) -> Tuple[StepReport, ThreePassOutcome]:
     report = context.report("3-pass refinement (3.2b)")
-    refiner = ThreePassRefiner(context, max_iterations=max_iterations)
+    refiner = ThreePassRefiner(context, max_iterations=max_iterations,
+                               budget=budget)
     outcome = refiner.run()
     for constraint in outcome.added:
         report.added.append(constraint)

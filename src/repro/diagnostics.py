@@ -41,6 +41,15 @@ break across releases:
 ``IO001``    input file missing or unreadable
 ``IO002``    input file contents malformed (not decodable / not loadable)
 ``GEN000``   unclassified error escaping a pipeline step
+``SGN001``   sign-off guard engaged: merged mode failed its validation
+``SGN002``   sign-off guard localized the culprit mode(s)/constraint
+``SGN003``   sign-off guard repaired the merge (constraint uniquified
+             or dropped) and re-verified equivalence
+``SGN004``   sign-off guard demoted mode(s) after exhausting repairs
+``SGN005``   sign-off guard repair-attempt budget exhausted
+``SGN006``   watchdog budget exceeded; the group degraded per policy
+``SGN007``   merge group restored from a checkpoint
+``SGN008``   checkpoint entry discarded (stale input hash / unreadable)
 ===========  ==============================================================
 """
 
@@ -172,6 +181,7 @@ _ERROR_CODES = [
     (errors.NetlistError, "NET002"),
     (errors.MergeStepError, "MRG001"),
     (errors.NotMergeableError, "MRG002"),
+    (errors.BudgetExceededError, "SGN006"),
     (errors.RefinementError, "MRG003"),
     (errors.EquivalenceError, "MRG004"),
     (errors.MergeError, "MRG001"),
@@ -189,6 +199,10 @@ _CODE_HINTS = {
     "SDC003": "fix the command's arguments at the reported line",
     "IO001": "check the path exists and is readable",
     "MRG002": "the demoted mode is kept as its own sign-off mode",
+    "SGN004": "the demoted mode is kept as its own sign-off mode",
+    "SGN005": "raise --max-repair-attempts or fix the culprit constraint",
+    "SGN006": "raise --budget-seconds or run under --policy strict to abort",
+    "SGN008": "re-run from scratch or delete the checkpoint file",
 }
 
 
@@ -229,11 +243,22 @@ def diagnostic_from_error(exc: BaseException, source: str = "",
     )
 
 
+#: Version of the JSON artifact written by ``DiagnosticCollector.to_dict``.
+#: Bump on any backwards-incompatible change to its layout; downstream
+#: tooling dispatches on this field.
+DIAGNOSTICS_SCHEMA_VERSION = 1
+
+
 class DiagnosticCollector:
     """Append-only sink for diagnostics, threaded through the pipeline."""
 
-    def __init__(self) -> None:
+    def __init__(self, policy: Union[DegradationPolicy, str, None] = None
+                 ) -> None:
         self.diagnostics: List[Diagnostic] = []
+        #: the degradation policy the run used (recorded in the JSON
+        #: artifact so downstream tooling can interpret the findings)
+        self.policy: Optional[DegradationPolicy] = (
+            DegradationPolicy.coerce(policy) if policy is not None else None)
 
     # -- recording ------------------------------------------------------
     def add(self, diagnostic: Diagnostic) -> Diagnostic:
@@ -307,6 +332,8 @@ class DiagnosticCollector:
 
     def to_dict(self) -> dict:
         return {
+            "schema_version": DIAGNOSTICS_SCHEMA_VERSION,
+            "policy": self.policy.value if self.policy else None,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "counts": {
                 "error": self.count(Severity.ERROR),

@@ -140,5 +140,24 @@ class RefinementError(MergeError):
     """Refinement could not reconcile the merged mode with the originals."""
 
 
+class BudgetExceededError(MergeError):
+    """A watchdog budget of a refinement engine was exhausted.
+
+    Raised by :class:`~repro.core.watchdog.WatchdogBudget` when a
+    refinement engine exceeds its wall-clock, pass-count or graph-size
+    limit.  Under ``STRICT`` policy it propagates to the caller; under a
+    recovery policy ``merge_all`` demotes the group instead of hanging.
+    """
+
+    def __init__(self, engine: str, kind: str, limit, used):
+        super().__init__(
+            f"{engine} exceeded its {kind} budget "
+            f"({used} > {limit})")
+        self.engine = engine
+        self.kind = kind
+        self.limit = limit
+        self.used = used
+
+
 class EquivalenceError(MergeError):
     """An equivalence check found a residual mismatch after refinement."""

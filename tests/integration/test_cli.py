@@ -1,5 +1,7 @@
 """Integration tests for the repro-merge CLI."""
 
+import os
+
 import pytest
 
 from repro.cli import main
@@ -106,3 +108,156 @@ class TestReportCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "mergeability graph: 2 modes, 1 mergeable pairs" in out
+
+
+class TestDiagnosticsArtifact:
+    def test_json_has_schema_version_and_policy(self, files, tmp_path):
+        tmp, netlist, mode_a, mode_b = files
+        diag_path = tmp_path / "diag.json"
+        code = main(["--policy", "lenient", "--diagnostics", str(diag_path),
+                     "merge", str(netlist), str(mode_a), str(mode_b),
+                     "-o", str(tmp / "out")])
+        assert code == 0
+        import json
+
+        record = json.loads(diag_path.read_text())
+        assert record["schema_version"] == 1
+        assert record["policy"] == "lenient"
+        assert record["diagnostics"] == []
+
+
+#: An out-of-tolerance clock uncertainty makes mode C non-mergeable with
+#: A and B, so checkpoint runs always contain two analysis groups.
+MODE_A_CKPT = MODE_A + "set_clock_uncertainty 0.1 [get_clocks CK]\n"
+MODE_B_CKPT = MODE_B + "set_clock_uncertainty 0.1 [get_clocks CK]\n"
+MODE_C_CKPT = """
+create_clock -name CK -period 10 [get_ports clk]
+set_clock_uncertainty 5 [get_clocks CK]
+"""
+
+#: Driver for the kill-resume test: runs ``merge_all`` with a checkpoint
+#: but SIGKILLs its own process when the second group (mode c) starts,
+#: simulating a run dying mid-flight after completing the first group.
+KILLED_DRIVER = """\
+import os, signal, sys
+
+import repro.core.mergeability as mergeability
+from repro.checkpoint import MergeCheckpoint, content_hash
+from repro.core.merger import MergeOptions
+from repro.netlist import read_verilog
+from repro.sdc import parse_mode
+
+netlist_path, a_path, b_path, c_path, ckpt_path = sys.argv[1:6]
+netlist_text = open(netlist_path).read()
+sdc_texts = [open(p).read() for p in (a_path, b_path, c_path)]
+netlist = read_verilog(netlist_text)
+modes = [parse_mode(text, name)
+         for text, name in zip(sdc_texts, ("a", "b", "c"))]
+
+real_merge = mergeability.merge_modes
+
+def killing_merge(netlist, modes, name=None, options=None):
+    if any(m.name == "c" for m in modes):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return real_merge(netlist, modes, name=name, options=options)
+
+mergeability.merge_modes = killing_merge
+checkpoint = MergeCheckpoint.open(
+    ckpt_path, input_hash=content_hash(netlist_text, *sdc_texts))
+mergeability.merge_all(netlist, modes, MergeOptions(),
+                       checkpoint=checkpoint)
+"""
+
+
+class TestCheckpointResume:
+    @pytest.fixture
+    def ckpt_files(self, tmp_path):
+        netlist = tmp_path / "chip.v"
+        netlist.write_text(NETLIST_V)
+        paths = []
+        for name, text in (("a", MODE_A_CKPT), ("b", MODE_B_CKPT),
+                           ("c", MODE_C_CKPT)):
+            path = tmp_path / f"{name}.sdc"
+            path.write_text(text)
+            paths.append(path)
+        return tmp_path, netlist, paths
+
+    def _merge_args(self, netlist, paths, out, ckpt=None):
+        args = ["merge", str(netlist)] + [str(p) for p in paths] + \
+            ["-o", str(out)]
+        if ckpt is not None:
+            args += ["--checkpoint", str(ckpt)]
+        return args
+
+    def test_rerun_restores_all_groups(self, ckpt_files, capsys):
+        tmp, netlist, paths = ckpt_files
+        ckpt = tmp / "run.ckpt"
+        assert main(self._merge_args(netlist, paths, tmp / "out1",
+                                     ckpt)) == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        assert main(self._merge_args(netlist, paths, tmp / "out2",
+                                     ckpt)) == 0
+        captured = capsys.readouterr()
+        assert "[restored]" in captured.out
+        assert "SGN007" in captured.err
+        first = {p.name: p.read_bytes() for p in (tmp / "out1").glob("*.sdc")}
+        second = {p.name: p.read_bytes() for p in (tmp / "out2").glob("*.sdc")}
+        assert first == second
+
+    def test_killed_run_resumes_byte_identically(self, ckpt_files, capsys):
+        """A run SIGKILLed mid-flight resumes from its checkpoint and
+        produces byte-identical outputs to an uninterrupted run."""
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        tmp, netlist, paths = ckpt_files
+        # Reference: an uninterrupted run, no checkpoint involved.
+        assert main(self._merge_args(netlist, paths, tmp / "fresh")) == 0
+
+        driver = tmp / "killed_driver.py"
+        driver.write_text(KILLED_DRIVER)
+        ckpt = tmp / "run.ckpt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+        proc = subprocess.run(
+            [sys.executable, str(driver), str(netlist)]
+            + [str(p) for p in paths] + [str(ckpt)],
+            env=env, capture_output=True, timeout=300)
+        assert proc.returncode == -signal.SIGKILL
+        # The first group survived the kill; the second never completed.
+        import json
+
+        groups = json.loads(ckpt.read_text())["groups"]
+        assert "a+b" in groups
+        assert "c" not in groups
+
+        capsys.readouterr()
+        code = main(self._merge_args(netlist, paths, tmp / "resumed", ckpt))
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "SGN007" in captured.err  # group {a, b} was replayed
+        fresh = {p.name: p.read_bytes()
+                 for p in (tmp / "fresh").glob("*.sdc")}
+        resumed = {p.name: p.read_bytes()
+                   for p in (tmp / "resumed").glob("*.sdc")}
+        assert fresh == resumed
+        assert len(fresh) == 2  # merged a+b, individual c
+
+    def test_edited_input_invalidates_the_checkpoint(self, ckpt_files,
+                                                     capsys):
+        tmp, netlist, paths = ckpt_files
+        ckpt = tmp / "run.ckpt"
+        assert main(self._merge_args(netlist, paths, tmp / "out1",
+                                     ckpt)) == 0
+        paths[0].write_text(MODE_A_CKPT + "# edited\n")
+        capsys.readouterr()
+        assert main(self._merge_args(netlist, paths, tmp / "out2",
+                                     ckpt)) == 0
+        captured = capsys.readouterr()
+        assert "SGN008" in captured.err  # stale checkpoint discarded
+        assert "[restored]" not in captured.out

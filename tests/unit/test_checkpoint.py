@@ -1,0 +1,194 @@
+"""Unit tests for merge-run checkpoint/resume."""
+
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    MergeCheckpoint,
+    content_hash,
+    netlist_fingerprint,
+)
+from repro.core import merge_all, merge_modes
+from repro.core.merger import MergeOptions
+from repro.diagnostics import (
+    DegradationPolicy,
+    Diagnostic,
+    DiagnosticCollector,
+    Severity,
+)
+from repro.sdc import parse_mode, write_mode
+
+MODE_A = """
+create_clock -name CK -period 10 [get_ports clk]
+set_false_path -to [get_pins rB/D]
+"""
+
+MODE_B = """
+create_clock -name CK -period 10 [get_ports clk]
+"""
+
+
+def _modes():
+    return [parse_mode(MODE_A, "A"), parse_mode(MODE_B, "B")]
+
+
+class TestContentHash:
+    def test_stable(self):
+        assert content_hash("a", "b") == content_hash("a", "b")
+
+    def test_order_and_boundaries_matter(self):
+        assert content_hash("a", "b") != content_hash("b", "a")
+        assert content_hash("ab", "c") != content_hash("a", "bc")
+
+    def test_netlist_fingerprint_tracks_content(self, pipeline_netlist,
+                                                reconvergent_netlist):
+        assert netlist_fingerprint(pipeline_netlist) == \
+            netlist_fingerprint(pipeline_netlist)
+        assert netlist_fingerprint(pipeline_netlist) != \
+            netlist_fingerprint(reconvergent_netlist)
+
+
+class TestOpen:
+    def test_missing_file_is_a_fresh_checkpoint(self, tmp_path):
+        checkpoint = MergeCheckpoint.open(tmp_path / "run.ckpt")
+        assert checkpoint.groups == {}
+
+    def test_corrupt_file_is_discarded_with_sgn008(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text("{not json")
+        collector = DiagnosticCollector()
+        checkpoint = MergeCheckpoint.open(path, collector=collector)
+        assert checkpoint.groups == {}
+        assert [d.code for d in collector] == ["SGN008"]
+
+    def test_schema_mismatch_is_discarded(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text(json.dumps({
+            "schema_version": CHECKPOINT_SCHEMA_VERSION + 1,
+            "groups": {"A": {}},
+        }))
+        collector = DiagnosticCollector()
+        checkpoint = MergeCheckpoint.open(path, collector=collector)
+        assert checkpoint.groups == {}
+        assert [d.code for d in collector] == ["SGN008"]
+
+    def test_stale_input_hash_is_discarded(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        stale = MergeCheckpoint(path, input_hash="old")
+        stale.groups = {"A": {"hash": "h", "outcomes": []}}
+        stale.save()
+        collector = DiagnosticCollector()
+        checkpoint = MergeCheckpoint.open(path, input_hash="new",
+                                          collector=collector)
+        assert checkpoint.groups == {}
+        assert [d.code for d in collector] == ["SGN008"]
+
+    def test_matching_checkpoint_round_trips(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        original = MergeCheckpoint(path, input_hash="h1")
+        original.groups = {"A+B": {"hash": "g", "outcomes": []}}
+        original.save()
+        reloaded = MergeCheckpoint.open(path, input_hash="h1")
+        assert reloaded.groups == original.groups
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        checkpoint = MergeCheckpoint(path)
+        checkpoint.save()
+        assert not path.with_name(path.name + ".tmp").exists()
+        assert json.loads(path.read_text())["schema_version"] == \
+            CHECKPOINT_SCHEMA_VERSION
+
+
+class TestGroupHash:
+    def test_sensitive_to_mode_text(self, pipeline_netlist):
+        opts = MergeOptions()
+        first = MergeCheckpoint.group_hash(pipeline_netlist, _modes(), opts)
+        changed = [parse_mode(MODE_A + "set_false_path -from rA/CP\n", "A"),
+                   parse_mode(MODE_B, "B")]
+        assert first != MergeCheckpoint.group_hash(pipeline_netlist,
+                                                   changed, opts)
+
+    def test_sensitive_to_options(self, pipeline_netlist):
+        first = MergeCheckpoint.group_hash(pipeline_netlist, _modes(),
+                                           MergeOptions())
+        second = MergeCheckpoint.group_hash(
+            pipeline_netlist, _modes(), MergeOptions(budget_seconds=5.0))
+        assert first != second
+
+    def test_stable_across_reparses(self, pipeline_netlist):
+        opts = MergeOptions()
+        assert MergeCheckpoint.group_hash(pipeline_netlist, _modes(), opts) \
+            == MergeCheckpoint.group_hash(pipeline_netlist, _modes(), opts)
+
+
+class TestRecordRestore:
+    def test_outcome_round_trips_byte_identically(self, pipeline_netlist,
+                                                  tmp_path):
+        result = merge_modes(pipeline_netlist, _modes())
+        checkpoint = MergeCheckpoint(tmp_path / "run.ckpt")
+
+        class Outcome:
+            mode_names = ["A", "B"]
+            error = ""
+            repaired = False
+
+        Outcome.result = result
+        diag = Diagnostic(code="SGN003", message="m",
+                          severity=Severity.WARNING, source="A")
+        checkpoint.record("A+B", "g1", [Outcome()], [diag])
+        checkpoint.save()
+
+        reloaded = MergeCheckpoint.open(tmp_path / "run.ckpt")
+        entry = reloaded.lookup("A+B", "g1")
+        assert entry is not None
+        assert reloaded.lookup("A+B", "other-hash") is None
+        names, restored, error, repaired = \
+            MergeCheckpoint.restore_outcome(entry["outcomes"][0])
+        assert names == ["A", "B"]
+        assert error == ""
+        assert not repaired
+        assert restored.ok
+        assert restored.validated
+        assert write_mode(restored.merged) == write_mode(result.merged)
+        assert restored.to_dict() == result.to_dict()
+        restored_diags = MergeCheckpoint.restore_diagnostics(entry)
+        assert restored_diags == [diag]
+
+    def test_discard(self, tmp_path):
+        checkpoint = MergeCheckpoint(tmp_path / "run.ckpt")
+        checkpoint.groups["A"] = {"hash": "h", "outcomes": []}
+        checkpoint.discard("A")
+        checkpoint.discard("never-existed")
+        assert checkpoint.groups == {}
+
+
+class TestMergeAllIntegration:
+    def test_second_run_restores_and_matches(self, pipeline_netlist,
+                                             tmp_path):
+        path = tmp_path / "run.ckpt"
+        first = merge_all(pipeline_netlist, _modes(), MergeOptions(),
+                          checkpoint=MergeCheckpoint(path))
+        assert first.restored_count == 0
+        assert path.exists()
+
+        resumed = merge_all(pipeline_netlist, _modes(), MergeOptions(),
+                            checkpoint=MergeCheckpoint.open(path))
+        assert resumed.restored_count == len(resumed.outcomes) == 1
+        assert any(d.code == "SGN007" for d in resumed.diagnostics)
+        assert write_mode(resumed.outcomes[0].result.merged) == \
+            write_mode(first.outcomes[0].result.merged)
+        assert resumed.to_dict()["groups"][0]["restored"]
+
+    def test_changed_mode_invalidates_only_its_group(self, pipeline_netlist,
+                                                     tmp_path):
+        path = tmp_path / "run.ckpt"
+        merge_all(pipeline_netlist, _modes(), MergeOptions(),
+                  checkpoint=MergeCheckpoint(path))
+        edited = [parse_mode(MODE_A + "set_false_path -from rA/CP\n", "A"),
+                  parse_mode(MODE_B, "B")]
+        resumed = merge_all(pipeline_netlist, edited, MergeOptions(),
+                            checkpoint=MergeCheckpoint.open(path))
+        assert resumed.restored_count == 0
