@@ -9,24 +9,80 @@ Heavy artifacts (the design suite, merge runs, STA runs) are cached at
 module scope so Table 5 and Table 6 benches share one flow per design.
 ``REPRO_BENCH_SCALE`` (default 1.0) scales the synthetic designs; use
 e.g. ``REPRO_BENCH_SCALE=0.5`` for a quick pass.
+
+Reproducibility and artifacts: every bench that needs an RNG seed takes
+it from :func:`bench_seed` (one place to reseed the whole suite via
+``REPRO_BENCH_SEED``), and every cached merge/STA run records into
+``BENCH_REGISTRY`` — the same :class:`~repro.obs.metrics.MetricsRegistry`
+the pipeline uses — so :func:`write_bench_json` artifacts
+(``BENCH_*.json``) share the pipeline's schema-versioned metrics layout.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import random
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.analysis.conformity import ConformityReport, compare_conformity
 from repro.baselines.no_merge import MultiModeStaResult, run_sta_all_modes
 from repro.core.mergeability import MergingRun, merge_all
+from repro.obs.metrics import MetricsRegistry, collecting
 from repro.workloads.designs import paper_suite
 from repro.workloads.generator import Workload, generate
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
+#: Optional suite-wide reseed; empty (default) keeps each site's stable
+#: default seed so default runs reproduce checked-in numbers exactly.
+BENCH_SEED = os.environ.get("REPRO_BENCH_SEED", "")
+
+#: One registry for the whole bench session: the cached merge and STA
+#: runs below record their pipeline metrics here, and
+#: :func:`write_bench_json` snapshots it into ``BENCH_*.json`` files.
+BENCH_REGISTRY = MetricsRegistry()
+
 _workloads: Dict[str, Workload] = {}
 _runs: Dict[str, MergingRun] = {}
 _sta: Dict[Tuple[str, str], MultiModeStaResult] = {}
+
+
+def bench_seed(site: str, default: int) -> int:
+    """The RNG seed for one benchmark site.
+
+    All benchmark seeding goes through here so a run is reproducible
+    run-to-run: with ``REPRO_BENCH_SEED`` unset the site's stable
+    ``default`` is used (bit-for-bit the historical workloads); setting
+    it derives a distinct deterministic seed per site from the one
+    environment value, reseeding the whole suite coherently.
+    """
+    if not BENCH_SEED:
+        return default
+    digest = hashlib.sha256(f"{BENCH_SEED}:{site}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def bench_rng(site: str, default: int) -> random.Random:
+    """A ``random.Random`` seeded via :func:`bench_seed`."""
+    return random.Random(bench_seed(site, default))
+
+
+def write_bench_json(stem: str, directory: str = ".", **gauges) -> Path:
+    """Write ``BENCH_<stem>.json`` in the metrics-registry schema.
+
+    The artifact is a snapshot of :data:`BENCH_REGISTRY` (every pipeline
+    counter/histogram the cached runs emitted) plus the bench's own
+    headline numbers as ``bench.<stem>.<name>`` gauges, so all
+    ``BENCH_*.json`` files validate against the same schema as
+    ``repro-merge --metrics`` output.
+    """
+    for name, value in gauges.items():
+        BENCH_REGISTRY.set_gauge(f"bench.{stem}.{name}", float(value))
+    path = Path(directory) / f"BENCH_{stem}.json"
+    BENCH_REGISTRY.write(path, fmt="json")
+    return path
 
 
 def get_workload(name: str) -> Workload:
@@ -39,7 +95,8 @@ def get_workload(name: str) -> Workload:
 def get_merge_run(name: str) -> MergingRun:
     if name not in _runs:
         workload = get_workload(name)
-        _runs[name] = merge_all(workload.netlist, workload.modes)
+        with collecting(BENCH_REGISTRY):
+            _runs[name] = merge_all(workload.netlist, workload.modes)
     return _runs[name]
 
 
@@ -53,8 +110,9 @@ def get_sta(name: str, which: str) -> MultiModeStaResult:
             modes = get_merge_run(name).merged_modes()
         # Best of two runs: wall-clock noise on the smaller designs can
         # otherwise dominate the borderline comparisons (design F).
-        runs = [run_sta_all_modes(workload.netlist, modes)
-                for _ in range(2)]
+        with collecting(BENCH_REGISTRY):
+            runs = [run_sta_all_modes(workload.netlist, modes)
+                    for _ in range(2)]
         _sta[key] = min(runs, key=lambda r: r.total_runtime_seconds)
     return _sta[key]
 

@@ -1,0 +1,88 @@
+"""Bench: cost of the observability layer (repro.obs).
+
+Two numbers back the design claim that instrumentation is free when
+nobody is collecting:
+
+1. the per-call cost of the disabled (ambient-null) tracer/metrics,
+   multiplied by a generous over-count of the instrumentation calls one
+   merge run makes — an empirical upper bound on the disabled overhead
+   of the scenario-reduction workload (<2% acceptance criterion);
+2. the wall-clock ratio of a fully traced + metered run against the
+   default run, reported for shape.
+"""
+
+import time
+
+import pytest
+
+from repro.core import merge_all
+from repro.obs.metrics import MetricsRegistry, collecting, get_metrics
+from repro.obs.trace import Tracer, get_tracer, tracing
+from repro.workloads import figure2_modes, generate
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(figure2_modes())
+
+
+def test_disabled_overhead_bound(benchmark, workload):
+    # Baseline: the instrumented pipeline with the default null ambient.
+    def run():
+        return merge_all(workload.netlist, workload.modes)
+
+    start = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    base_seconds = time.perf_counter() - start
+
+    # Count what one run actually emits when everything is enabled.
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with tracing(tracer), collecting(registry):
+        run()
+    spans = sum(1 for root in tracer.roots for _ in root.walk())
+    metric_names = len(registry.names())
+
+    # Per-call cost of the disabled layer, measured in a tight loop.
+    null_tracer = get_tracer()
+    null_metrics = get_metrics()
+    assert not null_tracer.enabled and not null_metrics.enabled
+    n = 100_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with null_tracer.span("x"):
+            null_metrics.inc("merge.runs")
+    per_call = (time.perf_counter() - start) / n
+
+    # 10x margin over the observed span count dwarfs any miscount of
+    # metric-only call sites.
+    calls = (spans + metric_names) * 10
+    overhead = calls * per_call
+    print(f"\nnull tracer+metrics: {per_call * 1e9:.0f} ns/call, "
+          f"{spans} spans + {metric_names} metric names per run; "
+          f"bound {overhead * 1e3:.3f} ms vs run "
+          f"{base_seconds * 1e3:.0f} ms "
+          f"({100 * overhead / base_seconds:.3f}%)")
+    assert overhead < 0.02 * base_seconds
+
+
+def test_enabled_overhead_ratio(benchmark, workload):
+    def run():
+        return merge_all(workload.netlist, workload.modes)
+
+    run()  # warm caches so the two timed runs are comparable
+    start = time.perf_counter()
+    run()
+    base = time.perf_counter() - start
+
+    def traced():
+        with tracing(Tracer()), collecting(MetricsRegistry()):
+            return run()
+
+    start = time.perf_counter()
+    benchmark.pedantic(traced, rounds=1, iterations=1, warmup_rounds=0)
+    enabled = time.perf_counter() - start
+    print(f"\nenabled observability: {base * 1e3:.0f} ms -> "
+          f"{enabled * 1e3:.0f} ms ({enabled / base:.2f}x)")
+    # Even fully enabled, the layer must stay far from dominating.
+    assert enabled < 2.0 * base

@@ -11,13 +11,15 @@ Two sweeps the paper's evaluation implies but does not tabulate:
 
 import pytest
 
+from bench_common import bench_seed
 from repro.analysis import sweep_mode_count, sweep_tolerance
 from repro.workloads import ModeGroupSpec, WorkloadSpec, generate
 
 
 def test_tolerance_sweep(benchmark):
     workload = generate(WorkloadSpec(
-        name="tolsweep", seed=23, n_domains=2, banks_per_domain=2,
+        name="tolsweep", seed=bench_seed("tolerance_sweep", 23),
+        n_domains=2, banks_per_domain=2,
         regs_per_bank=4, cloud_gates=12, n_config_bits=3, n_data_inputs=3,
         groups=(ModeGroupSpec("lo", 3, input_transition=0.10),
                 ModeGroupSpec("hi", 3, input_transition=0.13)),
@@ -35,7 +37,8 @@ def test_tolerance_sweep(benchmark):
 
 def test_mode_count_scaling(benchmark):
     sweep = benchmark.pedantic(
-        lambda: sweep_mode_count(counts=(2, 4, 8, 16), seed=77),
+        lambda: sweep_mode_count(counts=(2, 4, 8, 16),
+                                 seed=bench_seed("mode_count_scaling", 77)),
         rounds=1, iterations=1, warmup_rounds=0)
     print()
     print(sweep.format())

@@ -11,7 +11,13 @@ paper's mode-group structure; absolute runtimes are not comparable
 
 import pytest
 
-from bench_common import BENCH_SCALE, get_merge_run, get_workload, once
+from bench_common import (
+    BENCH_SCALE,
+    get_merge_run,
+    get_workload,
+    once,
+    write_bench_json,
+)
 from repro.workloads.designs import paper_suite
 
 SUITE = paper_suite(BENCH_SCALE)
@@ -67,5 +73,11 @@ def test_table5_summary(benchmark):
     average = total_red / len(rows)
     print(f"{'Average':<7}{'':>7}{'':>8}{'':>9}{average:>7.1f}"
           f"{'':>10}{67.5:>12.1f}")
+    artifact = write_bench_json(
+        "table5_mode_reduction",
+        average_reduction_percent=average,
+        **{f"{name}_reduction_percent": run.reduction_percent
+           for name, run in ((n, get_merge_run(n)) for n in sorted(SUITE))})
+    print(f"wrote {artifact}")
     # The paper's average is 67.5%; ours matches by construction.
     assert average == pytest.approx(67.5, abs=0.5)

@@ -51,7 +51,12 @@ from repro.timing import (
     run_sta,
 )
 
-__version__ = "1.0.0"
+try:  # single source of truth: the installed package metadata
+    from importlib.metadata import PackageNotFoundError, version
+
+    __version__ = version("repro")
+except PackageNotFoundError:  # running from a source tree (PYTHONPATH=src)
+    __version__ = "1.0.0"
 
 __all__ = [
     "BoundMode",

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.diagnostics import Diagnostic, DiagnosticCollector, Severity
 from repro.netlist.netlist import Netlist
+from repro.obs.metrics import get_metrics
 from repro.sdc.mode import Mode
 from repro.sdc.parser import parse_mode
 from repro.sdc.writer import write_mode
@@ -154,6 +155,7 @@ class MergeCheckpoint:
         tmp = self.path.with_name(self.path.name + ".tmp")
         tmp.write_text(json.dumps(payload, indent=2) + "\n")
         os.replace(tmp, self.path)
+        get_metrics().inc("checkpoint.saves")
 
     # ------------------------------------------------------------------
     # hashing
@@ -212,10 +214,10 @@ class MergeCheckpoint:
     def lookup(self, key: str, group_hash: str) -> Optional[dict]:
         """The stored entry for a group, or None when absent/stale."""
         entry = self.groups.get(key)
-        if entry is None:
+        if entry is None or entry.get("hash") != group_hash:
+            get_metrics().inc("checkpoint.misses")
             return None
-        if entry.get("hash") != group_hash:
-            return None
+        get_metrics().inc("checkpoint.hits")
         return entry
 
     def discard(self, key: str) -> None:

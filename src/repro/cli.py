@@ -29,15 +29,24 @@ merge that fails its equivalence validation), ``--budget-seconds`` (a
 watchdog on each merge's refinement engines), ``--max-repair-attempts``
 and ``--checkpoint run.ckpt`` (save completed groups after every group;
 a re-run with the same inputs resumes instead of recomputing).
+
+Observability (see ``docs/OBSERVABILITY.md``): ``--trace OUT`` records a
+hierarchical span tree of the run (``--trace-format`` selects JSONL or
+Chrome ``trace_event``), ``--metrics OUT`` writes the metrics registry
+(``--metrics-format`` selects JSON or Prometheus text), and
+``merge/report --provenance`` prints each merged-mode constraint's
+lineage — which source modes and which merge rule produced it.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List
 
+from repro import __version__
 from repro.core import (
     build_mergeability_graph,
     check_mode_equivalence,
@@ -52,6 +61,8 @@ from repro.diagnostics import (
 )
 from repro.errors import ReproError
 from repro.netlist import read_verilog
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.sdc import Mode, parse_mode, write_mode
 
 
@@ -73,14 +84,20 @@ def _read_text(path: str, collector: DiagnosticCollector) -> str:
 def _load_modes(paths: List[str], policy: DegradationPolicy,
                 collector: DiagnosticCollector) -> List[Mode]:
     modes = []
-    for path in paths:
-        text = _read_text(path, collector)
-        try:
-            modes.append(parse_mode(text, Path(path).stem, policy=policy,
-                                    collector=collector, source=path))
-        except ReproError as exc:
-            collector.capture(exc, source=path)
-            raise _HardFailure() from exc
+    metrics = get_metrics()
+    with get_tracer().span("parse", files=len(paths)) as span:
+        for path in paths:
+            text = _read_text(path, collector)
+            try:
+                modes.append(parse_mode(text, Path(path).stem, policy=policy,
+                                        collector=collector, source=path))
+            except ReproError as exc:
+                collector.capture(exc, source=path)
+                raise _HardFailure() from exc
+        metrics.inc("parse.modes", len(modes))
+        metrics.inc("parse.constraints", sum(len(m) for m in modes))
+        span.annotate(modes=len(modes),
+                      constraints=sum(len(m) for m in modes))
     return modes
 
 
@@ -147,9 +164,34 @@ def cmd_merge(args: argparse.Namespace, policy: DegradationPolicy,
         report_path = out_dir / "merge_report.json"
         report_path.write_text(json.dumps(run.to_dict(), indent=2) + "\n")
         print(f"wrote {report_path}")
+    if args.provenance:
+        for outcome in run.outcomes:
+            if outcome.result is None:
+                continue
+            _print_provenance(outcome.result)
     if failures:
         return 1
-    return 1 if collector.has_warnings or collector.has_errors else 0
+    # exit_code() centralizes the 0/1/2 contract; a completed-but-degraded
+    # run caps at 1 (hard failures exit 2 via _HardFailure above).
+    return min(collector.exit_code(), 1)
+
+
+def _print_provenance(result) -> None:
+    """Print one merged mode's constraint lineage.
+
+    Works for live ``MergeResult`` objects and checkpoint-restored
+    results alike by reading the serialized record.
+    """
+    records = result.to_dict().get("provenance", [])
+    name = result.merged.name
+    print(f"provenance {name}: {len(records)} constraint(s)")
+    for record in records:
+        sources = ",".join(record.get("source_modes", ())) or "-"
+        line = (f"  {record.get('constraint', '?')}  "
+                f"<= {record.get('rule', '?')} [{sources}]")
+        if record.get("detail"):
+            line += f" ({record['detail']})"
+        print(line)
 
 
 def cmd_audit(args: argparse.Namespace, policy: DegradationPolicy,
@@ -171,6 +213,21 @@ def cmd_report(args: argparse.Namespace, policy: DegradationPolicy,
     for pair, reason in sorted(analysis.reasons.items(),
                                key=lambda kv: sorted(kv[0])):
         print(f"  non-mergeable {sorted(pair)}: {reason}")
+    if args.provenance:
+        from repro.core import merge_modes
+
+        by_name = {m.name: m for m in modes}
+        for group in analysis.groups:
+            if len(group) < 2:
+                continue
+            try:
+                result = merge_modes(netlist,
+                                     [by_name[n] for n in group],
+                                     options=MergeOptions(policy=policy))
+            except ReproError as exc:
+                collector.capture(exc, source="+".join(group))
+                continue
+            _print_provenance(result)
     return 0
 
 
@@ -178,6 +235,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-merge",
         description="Timing-graph based SDC mode merging (DAC 2015 repro)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    parser.add_argument("--trace", default="", metavar="OUT",
+                        help="record a hierarchical span trace of the run "
+                             "to this file")
+    parser.add_argument("--trace-format", default="jsonl",
+                        choices=["jsonl", "chrome"],
+                        help="trace file format: one JSON object per span "
+                             "(jsonl, default) or Chrome trace_event "
+                             "(chrome; load in about://tracing)")
+    parser.add_argument("--metrics", default="", metavar="OUT",
+                        help="write the run's metrics registry (stable "
+                             "names, see docs/OBSERVABILITY.md) to this "
+                             "file")
+    parser.add_argument("--metrics-format", default="json",
+                        choices=["json", "prometheus"],
+                        help="metrics file format (default json)")
     parser.add_argument("--liberty", default="",
                         help="Liberty (.lib) file defining the cell "
                              "library (default: the built-in generic "
@@ -219,6 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint file: completed merge groups "
                               "are saved here after every group and "
                               "replayed on a re-run with unchanged inputs")
+    p_merge.add_argument("--provenance", action="store_true",
+                         help="print every merged-mode constraint's "
+                              "lineage: source modes and merge rule")
     p_merge.set_defaults(func=cmd_merge)
 
     p_audit = sub.add_parser("audit",
@@ -232,6 +309,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="mergeability analysis only")
     p_report.add_argument("netlist")
     p_report.add_argument("sdc", nargs="+")
+    p_report.add_argument("--provenance", action="store_true",
+                          help="also merge each group and print every "
+                               "merged-mode constraint's lineage")
     p_report.set_defaults(func=cmd_report)
     return parser
 
@@ -245,22 +325,57 @@ def _write_diagnostics(path: str, collector: DiagnosticCollector) -> None:
         print(f"cannot write diagnostics to {path}: {exc}", file=sys.stderr)
 
 
+def _write_observability(args, tracer, metrics) -> None:
+    """Flush trace/metrics artifacts; export errors must not mask the run."""
+    if tracer is not None and args.trace:
+        try:
+            tracer.write(args.trace, fmt=args.trace_format)
+            print(f"wrote {args.trace}")
+        except OSError as exc:
+            print(f"cannot write trace to {args.trace}: {exc}",
+                  file=sys.stderr)
+    if metrics is not None and args.metrics:
+        try:
+            metrics.write(args.metrics, fmt=args.metrics_format)
+            print(f"wrote {args.metrics}")
+        except OSError as exc:
+            print(f"cannot write metrics to {args.metrics}: {exc}",
+                  file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     policy = DegradationPolicy.coerce(args.policy)
     collector = DiagnosticCollector(policy)
+    tracer = Tracer() if args.trace else None
+    metrics = MetricsRegistry() if args.metrics else None
+    previous_tracer = set_tracer(tracer) if tracer is not None else None
+    previous_metrics = set_metrics(metrics) if metrics is not None else None
+    start = time.perf_counter()
     try:
-        code = args.func(args, policy, collector)
-    except _HardFailure:
-        code = 2
-    except ReproError as exc:
-        # Under STRICT, library errors surface here: one line, exit 2.
-        collector.capture(exc)
-        code = 2
+        with get_tracer().span("run", command=args.command):
+            try:
+                code = args.func(args, policy, collector)
+            except _HardFailure:
+                code = 2
+            except ReproError as exc:
+                # Under STRICT, library errors surface here: one line,
+                # exit 2.
+                collector.capture(exc)
+                code = 2
+        if metrics is not None:
+            metrics.set_gauge("run.wall_seconds",
+                              time.perf_counter() - start)
+    finally:
+        if tracer is not None:
+            set_tracer(previous_tracer)
+        if metrics is not None:
+            set_metrics(previous_metrics)
     for diagnostic in collector:
         print(diagnostic.format(), file=sys.stderr)
     _write_diagnostics(args.diagnostics, collector)
+    _write_observability(args, tracer, metrics)
     return code
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.core.steps import MergeContext, StepReport
+from repro.obs.provenance import RULE_DERIVED, RULE_INTERSECTION
 from repro.sdc.commands import ObjectRef, PathSpec, SetCaseAnalysis, SetFalsePath
 
 
@@ -39,6 +40,10 @@ def merge_case_analysis(context: MergeContext) -> StepReport:
         if len(present_modes) == mode_count and len(values) == 1:
             # Common to all modes with agreeing value: keep as-is.
             report.add(context.merged.add(sample))
+            context.provenance.record(
+                sample, RULE_INTERSECTION, sorted(present_modes),
+                step="case_analysis",
+                detail=f"same constant {sample.value} in every mode")
             continue
         if len(present_modes) == mode_count and len(values) > 1:
             # Constant in every mode but at conflicting values: the pin
@@ -48,6 +53,11 @@ def merge_case_analysis(context: MergeContext) -> StepReport:
                 spec=PathSpec(through_refs=(sample.objects,)))
             context.merged.add(false_path)
             report.add(false_path)
+            context.provenance.record(
+                false_path, RULE_DERIVED, sorted(present_modes),
+                step="case_analysis",
+                detail=f"conflicting case values {sorted(values)} "
+                       f"translated to a false path")
             report.note(
                 f"case on {sample.objects} conflicts across modes "
                 f"({sorted(values)}); translated to {false_path.command} "

@@ -15,6 +15,7 @@ from dataclasses import replace
 from typing import Dict, List, Tuple
 
 from repro.core.steps import MergeContext, StepReport
+from repro.obs.provenance import RULE_INTERSECTION, RULE_TOLERANCE
 from repro.sdc.commands import (
     CLOCK_ATTACHED_TYPES,
     Constraint,
@@ -95,6 +96,10 @@ def merge_clock_constraints(context: MergeContext,
                     report.drop(name, constraint)
             else:
                 report.add(context.merged.add(sample))
+                context.provenance.record(
+                    sample, RULE_INTERSECTION, sorted(present_modes),
+                    step="clock_constraints",
+                    detail="present in every relevant mode")
             continue
 
         values = [c.value for _, c in entries]
@@ -111,6 +116,10 @@ def merge_clock_constraints(context: MergeContext,
             else max(values)
         merged = replace(sample, value=merged_value)
         report.add(context.merged.add(merged))
+        context.provenance.record(
+            merged, RULE_TOLERANCE, sorted(present_modes),
+            step="clock_constraints",
+            detail=f"worst-case {merged_value:g} of {sorted(set(values))}")
         if merged_value != values[0] or len(set(values)) > 1:
             report.note(
                 f"{sample.command} merged value {merged_value:g} from "

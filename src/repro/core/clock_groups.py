@@ -22,6 +22,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, List, Set
 
 from repro.core.steps import MergeContext, StepReport
+from repro.obs.provenance import RULE_DERIVED
 from repro.sdc.commands import ObjectRef, SetClockGroups
 from repro.sdc.mode import Mode
 
@@ -76,6 +77,10 @@ def merge_clock_exclusivity(context: MergeContext) -> StepReport:
             name=f"{a}_{b}_excl",
         )
         report.add(context.merged.add(constraint))
+        context.provenance.record(
+            constraint, RULE_DERIVED, list(context.mode_names()),
+            step="clock_exclusivity",
+            detail=f"clocks {a} and {b} never co-exist in any mode")
         report.note(f"clocks {a} and {b} never co-exist in any individual "
                     f"mode; marked physically exclusive")
     return report

@@ -23,6 +23,9 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.steps import MergeContext, StepReport
 from repro.core.watchdog import WatchdogBudget
 from repro.netlist.netlist import Pin, Port
+from repro.obs.metrics import get_metrics
+from repro.obs.provenance import RULE_DERIVED
+from repro.obs.trace import get_tracer
 from repro.sdc.commands import ObjectRef, SetClockSense, SetDisableTiming
 from repro.timing.clocks import ClockPropagation
 from repro.timing.graph import ARC_LAUNCH
@@ -58,6 +61,11 @@ def infer_disables_from_dropped_cases(context: MergeContext,
                 emitted.add(node)
                 disable = SetDisableTiming(objects=_ref_for_node(graph, node))
                 report.add(context.merged.add(disable))
+                context.provenance.record(
+                    disable, RULE_DERIVED, list(context.mode_names()),
+                    step="clock_refinement",
+                    detail=f"{graph.name(node)} constant in every mode; "
+                           f"disable inferred from dropped cases")
                 report.note(
                     f"{graph.name(node)} is constant in every individual "
                     f"mode; inferred set_disable_timing")
@@ -95,6 +103,8 @@ def refine_clock_network(context: MergeContext,
                          ) -> StepReport:
     report = context.report("clock refinement (3.1.8)")
     graph = context.graph
+    metrics = get_metrics()
+    tracer = get_tracer()
     if budget is not None:
         # The per-mode propagation walks below visit every graph node;
         # refuse up front rather than grinding through an oversized BFS.
@@ -104,15 +114,18 @@ def refine_clock_network(context: MergeContext,
 
     # Union of individual clock propagation, in merged clock names.
     union_ind: Dict[int, Set[str]] = {}
+    nodes_visited = 0
     for mode, bound in zip(context.modes, context.bound_individuals()):
         mapping = context.clock_maps[mode.name]
         prop = bound.clock_propagation()
+        nodes_visited += len(prop.node_clocks)
         for node, clocks in prop.node_clocks.items():
             bucket = union_ind.setdefault(node, set())
             bucket.update(mapping.get(c, c) for c in clocks)
 
     merged_bound = context.bind_merged()
     merged_prop = ClockPropagation(merged_bound)
+    nodes_visited += len(merged_prop.node_clocks)
     frontier = find_extra_clock_frontier(graph, merged_prop, union_ind,
                                          merged_bound.constants)
     for node, clock_name in frontier:
@@ -122,7 +135,17 @@ def refine_clock_network(context: MergeContext,
             stop_propagation=True,
         )
         report.add(context.merged.add(stop))
+        context.provenance.record(
+            stop, RULE_DERIVED, list(context.mode_names()),
+            step="clock_refinement",
+            detail=f"clock {clock_name} reaches {graph.name(node)} only "
+                   f"in the merged mode")
         report.note(
             f"clock {clock_name} reaches {graph.name(node)} only in the "
             f"merged mode; stopped with set_clock_sense")
+    metrics.inc("clock_refinement.nodes_visited", nodes_visited)
+    metrics.inc("clock_refinement.stops", len(frontier))
+    if tracer.enabled:
+        tracer.annotate(clock_nodes_visited=nodes_visited,
+                        clock_stops=len(frontier))
     return report

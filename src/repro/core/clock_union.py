@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 from dataclasses import replace
 
+from repro.obs.provenance import RULE_UNION
 from repro.sdc.commands import CreateClock, CreateGeneratedClock, ObjectRef
 from repro.sdc.mode import Mode
 from repro.sdc.object_query import ObjectResolver, resolver_for
@@ -83,6 +84,9 @@ def merge_clocks(context: MergeContext) -> StepReport:
                 mapping[clock.name] = existing
                 context.reverse_clock_map[existing].append(
                     (mode.name, clock.name))
+                context.provenance.record(
+                    merged_clocks[existing], RULE_UNION, [mode.name],
+                    step="clock_union")
                 report.note(
                     f"clock {clock.name!r} of mode {mode.name!r} is a "
                     f"duplicate of merged clock {existing!r}")
@@ -95,6 +99,9 @@ def merge_clocks(context: MergeContext) -> StepReport:
             merged = replace(clock, name=merged_name, add=True)
             context.merged.add(merged)
             report.add(merged)
+            context.provenance.record(
+                merged, RULE_UNION, [mode.name], step="clock_union",
+                detail=f"from clock {clock.name!r}")
             by_signature[signature] = merged_name
             merged_clocks[merged_name] = merged
             mapping[clock.name] = merged_name
@@ -112,12 +119,18 @@ def merge_clocks(context: MergeContext) -> StepReport:
                 mapping[clock.name] = existing
                 context.reverse_clock_map[existing].append(
                     (mode.name, clock.name))
+                context.provenance.record(
+                    merged_clocks[existing], RULE_UNION, [mode.name],
+                    step="clock_union")
                 continue
             merged_name = _unique_name(clock.name, merged_clocks)
             merged = replace(clock, name=merged_name,
                              master_clock=mapped_master, add=True)
             context.merged.add(merged)
             report.add(merged)
+            context.provenance.record(
+                merged, RULE_UNION, [mode.name], step="clock_union",
+                detail=f"from generated clock {clock.name!r}")
             by_signature[signature] = merged_name
             merged_clocks[merged_name] = merged
             mapping[clock.name] = merged_name

@@ -17,6 +17,8 @@ from typing import Dict, List, Set, Tuple
 
 from repro.core.clock_refinement import _ref_for_node
 from repro.core.steps import MergeContext, StepReport
+from repro.obs.metrics import get_metrics
+from repro.obs.provenance import RULE_DERIVED
 from repro.sdc.commands import ObjectRef, PathSpec, SetFalsePath
 from repro.timing.clocks import ClockPropagation, propagate_launch_clocks
 from repro.timing.graph import ARC_LAUNCH
@@ -62,8 +64,14 @@ def refine_data_clocks(context: MergeContext) -> StepReport:
                 through_refs=(_ref_for_node(graph, node),),
             ))
             report.add(context.merged.add(fix))
+            context.provenance.record(
+                fix, RULE_DERIVED, list(context.mode_names()),
+                step="data_refinement",
+                detail=f"launch clock {clock_name} reaches "
+                       f"{graph.name(node)} only in the merged mode")
             report.note(
                 f"launch clock {clock_name} reaches {graph.name(node)} only "
                 f"in the merged mode; falsified with set_false_path "
                 f"-from/-through")
+    get_metrics().inc("data_refinement.false_paths", len(report.added))
     return report

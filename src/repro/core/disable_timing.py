@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.core.steps import MergeContext, StepReport
+from repro.obs.provenance import RULE_INTERSECTION
 from repro.sdc.commands import SetDisableTiming
 
 
@@ -29,6 +30,9 @@ def merge_disable_timing(context: MergeContext) -> StepReport:
         present = {name for name, _ in entries}
         if len(present) == mode_count:
             report.add(context.merged.add(entries[0][1]))
+            context.provenance.record(
+                entries[0][1], RULE_INTERSECTION, sorted(present),
+                step="disable_timing", detail="disabled in every mode")
         else:
             missing = [m.name for m in context.modes if m.name not in present]
             report.note(

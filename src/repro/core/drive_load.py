@@ -17,6 +17,7 @@ from repro.core.clock_constraints import (
     values_within_tolerance,
 )
 from repro.core.steps import MergeContext, StepReport
+from repro.obs.provenance import RULE_TOLERANCE
 from repro.sdc.commands import DRIVE_LOAD_TYPES, SetDrivingCell
 
 
@@ -56,6 +57,9 @@ def merge_drive_load(context: MergeContext,
                     f"cells {sorted(cells)}")
                 continue
             report.add(context.merged.add(sample))
+            context.provenance.record(
+                sample, RULE_TOLERANCE, sorted(present),
+                step="drive_load", detail="same driving cell in all modes")
             continue
         values = [c.value for _, c in entries]
         if not values_within_tolerance(values, tolerance):
@@ -67,4 +71,7 @@ def merge_drive_load(context: MergeContext,
             else max(values)
         merged = replace(sample, value=merged_value)
         report.add(context.merged.add(merged))
+        context.provenance.record(
+            merged, RULE_TOLERANCE, sorted(present), step="drive_load",
+            detail=f"worst-case {merged_value:g} of {sorted(set(values))}")
     return report

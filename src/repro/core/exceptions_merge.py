@@ -26,6 +26,8 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.steps import MergeContext, StepReport
+from repro.obs.metrics import get_metrics
+from repro.obs.provenance import RULE_INTERSECTION, RULE_UNIQUIFIED
 from repro.sdc.commands import (
     Constraint,
     ObjectRef,
@@ -119,6 +121,7 @@ def uniquify_exception(constraint: Constraint,
 
 def merge_exceptions(context: MergeContext) -> StepReport:
     report = context.report("exceptions (3.1.9/3.1.10)")
+    metrics = get_metrics()
     mode_count = len(context.modes)
     mode_clocks = _mapped_mode_clocks(context)
 
@@ -139,6 +142,10 @@ def merge_exceptions(context: MergeContext) -> StepReport:
         sample = entries[0][1]
         if len(present) == mode_count:
             report.add(context.merged.add(sample))
+            context.provenance.record(
+                sample, RULE_INTERSECTION, sorted(present),
+                step="exceptions", detail="exception common to all modes")
+            metrics.inc("exceptions.intersected")
             continue
 
         own_clocks: Set[str] = set()
@@ -150,6 +157,13 @@ def merge_exceptions(context: MergeContext) -> StepReport:
         uniquified = uniquify_exception(sample, own_clocks, other_clocks)
         if uniquified is not None:
             report.add(context.merged.add(uniquified))
+            context.provenance.record(
+                uniquified, RULE_UNIQUIFIED, sorted(present),
+                step="exceptions",
+                detail="clock-restricted to its source modes"
+                if uniquified is not sample
+                else "already unique through its clocks")
+            metrics.inc("exceptions.uniquified")
             if uniquified is not sample:
                 report.note(
                     f"{sample.command} of modes {sorted(present)} uniquified "
@@ -161,6 +175,7 @@ def merge_exceptions(context: MergeContext) -> StepReport:
         missing = [m.name for m in context.modes if m.name not in present]
         for name, constraint in entries:
             report.drop(name, constraint)
+        metrics.inc("exceptions.dropped", len(entries))
         if isinstance(sample, SetFalsePath):
             report.note(
                 f"false path of modes {sorted(present)} not uniquifiable "

@@ -13,12 +13,14 @@ from dataclasses import replace
 from typing import Dict, List, Set, Tuple
 
 from repro.core.steps import MergeContext, StepReport
+from repro.obs.provenance import RULE_UNION
 from repro.sdc.commands import SetInputDelay, SetOutputDelay
 
 
 def merge_external_delays(context: MergeContext) -> StepReport:
     report = context.report("external delays (3.1.3)")
-    seen: Set[Tuple] = set()
+    # identity -> emitted merged constraint (for source accumulation)
+    seen: Dict[Tuple, object] = {}
     # (command, normalized port ref) -> first constraint already emitted?
     first_on_port: Set[Tuple] = set()
 
@@ -27,14 +29,20 @@ def merge_external_delays(context: MergeContext) -> StepReport:
         for constraint in mode.of_type(SetInputDelay, SetOutputDelay):
             mapped = constraint.rename_clocks(mapping)
             identity = (mapped.key(), round(mapped.value, 9))
-            if identity in seen:
+            emitted = seen.get(identity)
+            if emitted is not None:
+                context.provenance.record(
+                    emitted, RULE_UNION, [mode.name],
+                    step="external_delays")
                 continue
-            seen.add(identity)
             port_key = (mapped.command, mapped.objects.normalized(),
                         mapped.min_flag, mapped.max_flag)
             if port_key in first_on_port:
                 mapped = replace(mapped, add_delay=True)
             else:
                 first_on_port.add(port_key)
+            seen[identity] = mapped
             report.add(context.merged.add(mapped))
+            context.provenance.record(
+                mapped, RULE_UNION, [mode.name], step="external_delays")
     return report

@@ -38,6 +38,8 @@ from repro.diagnostics import (
 )
 from repro.errors import BudgetExceededError, MergeStepError
 from repro.netlist.netlist import Netlist
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.sdc.mode import Mode
 from repro.timing.clocks import ClockPropagation
 
@@ -172,6 +174,8 @@ def build_mergeability_graph(netlist: Netlist, modes: Sequence[Mode],
     platform and falls back to serial elsewhere.
     """
     start = time.perf_counter()
+    tracer = get_tracer()
+    metrics = get_metrics()
     graph = nx.Graph()
     reasons: Dict[FrozenSet[str], str] = {}
     for mode in modes:
@@ -180,32 +184,45 @@ def build_mergeability_graph(netlist: Netlist, modes: Sequence[Mode],
     pairs = [(i, j) for i in range(len(mode_list))
              for j in range(i + 1, len(mode_list))]
 
-    results = None
-    if jobs > 1 and len(pairs) > 1:
-        import multiprocessing as mp
+    with tracer.span("mergeability", modes=[m.name for m in mode_list],
+                     pairs=len(pairs), jobs=jobs):
+        results = None
+        if jobs > 1 and len(pairs) > 1:
+            import multiprocessing as mp
 
-        try:
-            context = mp.get_context("fork")
-        except ValueError:
-            context = None
-        if context is not None:
-            with context.Pool(jobs, initializer=_pool_init,
-                              initargs=(netlist, mode_list, options)) as pool:
-                results = pool.map(_pool_check, pairs,
-                                   chunksize=max(1, len(pairs) // (jobs * 4)))
-    if results is None:
-        results = []
-        for i, j in pairs:
-            ok, reason = pair_mergeable(netlist, mode_list[i], mode_list[j],
-                                        options)
-            results.append((i, j, ok, reason))
+            try:
+                context = mp.get_context("fork")
+            except ValueError:
+                context = None
+            if context is not None:
+                with context.Pool(jobs, initializer=_pool_init,
+                                  initargs=(netlist, mode_list,
+                                            options)) as pool:
+                    results = pool.map(
+                        _pool_check, pairs,
+                        chunksize=max(1, len(pairs) // (jobs * 4)))
+        if results is None:
+            results = []
+            for i, j in pairs:
+                ok, reason = pair_mergeable(netlist, mode_list[i],
+                                            mode_list[j], options)
+                results.append((i, j, ok, reason))
 
-    for i, j, ok, reason in results:
-        if ok:
-            graph.add_edge(mode_list[i].name, mode_list[j].name)
-        else:
-            reasons[frozenset((mode_list[i].name, mode_list[j].name))] = reason
-    groups = greedy_clique_cover(graph)
+        for i, j, ok, reason in results:
+            if ok:
+                graph.add_edge(mode_list[i].name, mode_list[j].name)
+            else:
+                reasons[frozenset((mode_list[i].name,
+                                   mode_list[j].name))] = reason
+        with tracer.span("clique_cover"):
+            groups = greedy_clique_cover(graph)
+        metrics.inc("mergeability.pairs_checked", len(pairs))
+        metrics.inc("mergeability.pairs_mergeable",
+                    graph.number_of_edges())
+        metrics.inc("mergeability.groups", len(groups))
+        if tracer.enabled:
+            tracer.annotate(mergeable_pairs=graph.number_of_edges(),
+                            groups=len(groups))
     return MergeabilityAnalysis(
         graph=graph,
         groups=groups,
@@ -501,36 +518,50 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
         merge_group(names[:half])
         merge_group(names[half:])
 
-    for group in analysis.groups:
-        names = list(group)
-        group_hash = ""
-        if checkpoint is not None:
-            key = "+".join(names)
-            group_hash = checkpoint.group_hash(
-                netlist, [by_name[n] for n in names], group_opts)
-            entry = checkpoint.lookup(key, group_hash)
-            if entry is not None:
-                for stored in entry["outcomes"]:
-                    o_names, o_result, o_error, o_repaired = \
-                        checkpoint.restore_outcome(stored)
-                    run.outcomes.append(GroupOutcome(
-                        o_names, o_result, error=o_error,
-                        repaired=o_repaired, restored=True))
-                sink.extend(checkpoint.restore_diagnostics(entry))
-                sink.report(
-                    "SGN007",
-                    f"group {{{', '.join(names)}}} restored from "
-                    f"checkpoint",
-                    severity=Severity.INFO, source=key)
-                continue
-        outcome_mark = len(run.outcomes)
-        diag_mark = len(sink)
-        merge_group(names)
-        if checkpoint is not None:
-            checkpoint.record(key, group_hash,
-                              run.outcomes[outcome_mark:],
-                              sink.diagnostics[diag_mark:])
-            checkpoint.save()
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span("merge_all", groups=len(analysis.groups),
+                     modes=len(list(modes))):
+        for group in analysis.groups:
+            names = list(group)
+            group_hash = ""
+            with tracer.span(f"group:{'+'.join(names)}", modes=names):
+                if checkpoint is not None:
+                    key = "+".join(names)
+                    group_hash = checkpoint.group_hash(
+                        netlist, [by_name[n] for n in names], group_opts)
+                    entry = checkpoint.lookup(key, group_hash)
+                    if entry is not None:
+                        for stored in entry["outcomes"]:
+                            o_names, o_result, o_error, o_repaired = \
+                                checkpoint.restore_outcome(stored)
+                            run.outcomes.append(GroupOutcome(
+                                o_names, o_result, error=o_error,
+                                repaired=o_repaired, restored=True))
+                        sink.extend(checkpoint.restore_diagnostics(entry))
+                        sink.report(
+                            "SGN007",
+                            f"group {{{', '.join(names)}}} restored from "
+                            f"checkpoint",
+                            severity=Severity.INFO, source=key)
+                        if tracer.enabled:
+                            tracer.annotate(restored=True)
+                        continue
+                outcome_mark = len(run.outcomes)
+                diag_mark = len(sink)
+                merge_group(names)
+                if checkpoint is not None:
+                    checkpoint.record(key, group_hash,
+                                      run.outcomes[outcome_mark:],
+                                      sink.diagnostics[diag_mark:])
+                    checkpoint.save()
+        if metrics.enabled:
+            metrics.inc("merge.modes_in", run.individual_count)
+            metrics.inc("merge.modes_out", run.merged_count)
+            metrics.inc("merge.groups_merged",
+                        sum(1 for o in run.outcomes if o.merged))
+            metrics.set_gauge("merge.reduction_percent",
+                              round(run.reduction_percent, 3))
     run.runtime_seconds = time.perf_counter() - start
     run.diagnostics = list(sink.diagnostics[first_diag:])
     return run

@@ -33,6 +33,9 @@ from repro.core.watchdog import WatchdogBudget
 from repro.diagnostics import DegradationPolicy
 from repro.errors import MergeStepError, RefinementError
 from repro.netlist.netlist import Netlist
+from repro.obs.metrics import get_metrics
+from repro.obs.provenance import RULE_UNION
+from repro.obs.trace import get_tracer
 from repro.sdc.mode import Mode
 
 
@@ -133,6 +136,8 @@ class MergeResult:
                 "ran": self.validated,
                 "mismatches": list(self.validation_mismatches),
             },
+            "provenance": [rec.to_dict()
+                           for rec in self.context.provenance.records()],
         }
 
     def summary(self) -> str:
@@ -158,6 +163,8 @@ def merge_modes(netlist: Netlist, modes: Sequence[Mode],
     opts = options or MergeOptions()
     policy = DegradationPolicy.coerce(opts.policy)
     mode_names = [m.name for m in modes]
+    tracer = get_tracer()
+    metrics = get_metrics()
 
     def step(step_name, fn, *args):
         """Run one pipeline stage with per-step fault isolation.
@@ -165,52 +172,92 @@ def merge_modes(netlist: Netlist, modes: Sequence[Mode],
         Under a recovery policy a raising step becomes a
         :class:`MergeStepError` naming the stage and the group, which
         ``merge_all`` turns into a demotion instead of a crash.  Under
-        STRICT the call is transparent — historical behaviour.
+        STRICT the call is transparent — historical behaviour.  Each
+        stage runs under a ``step:<name>`` span carrying the constraint
+        count so far and the watchdog budget remaining.
         """
-        if policy is DegradationPolicy.STRICT:
-            return fn(*args)
-        try:
-            return fn(*args)
-        except MergeStepError:
-            raise
-        except Exception as exc:
-            raise MergeStepError(step_name, mode_names, exc) from exc
+        with tracer.span(f"step:{step_name}") as span:
+            if tracer.enabled:
+                attrs = {"constraints_before": len(context.merged)}
+                if budget is not None:
+                    remaining = budget.remaining_seconds()
+                    if remaining is not None:
+                        attrs["budget_remaining_s"] = round(remaining, 3)
+                span.annotate(**attrs)
+            if policy is DegradationPolicy.STRICT:
+                out = fn(*args)
+            else:
+                try:
+                    out = fn(*args)
+                except MergeStepError:
+                    raise
+                except Exception as exc:
+                    raise MergeStepError(step_name, mode_names, exc) from exc
+            if tracer.enabled:
+                span.annotate(constraints_after=len(context.merged))
+            return out
 
     start = time.perf_counter()
     budget = opts.watchdog()
     context = MergeContext(netlist, list(modes), name)
+    metrics.inc("merge.runs")
 
-    # --- preliminary mode merging (3.1) ---
-    step("clock_union", merge_clocks, context)
-    step("clock_constraints", merge_clock_constraints, context, opts.tolerance)
-    step("external_delays", merge_external_delays, context)
-    step("case_analysis", merge_case_analysis, context)
-    step("disable_timing", merge_disable_timing, context)
-    step("drive_load", merge_drive_load, context, opts.tolerance)
-    step("clock_exclusivity", merge_clock_exclusivity, context)
-    step("clock_refinement", refine_clock_network, context, budget)
-    step("exceptions", merge_exceptions, context)
+    with tracer.span("merge", merged_mode=context.merged_name,
+                     modes=mode_names):
+        # --- preliminary mode merging (3.1) ---
+        step("clock_union", merge_clocks, context)
+        step("clock_constraints", merge_clock_constraints, context,
+             opts.tolerance)
+        step("external_delays", merge_external_delays, context)
+        step("case_analysis", merge_case_analysis, context)
+        step("disable_timing", merge_disable_timing, context)
+        step("drive_load", merge_drive_load, context, opts.tolerance)
+        step("clock_exclusivity", merge_clock_exclusivity, context)
+        step("clock_refinement", refine_clock_network, context, budget)
+        step("exceptions", merge_exceptions, context)
 
-    # --- merged-mode refinement (3.2) ---
-    step("data_refinement", refine_data_clocks, context)
-    _report, outcome = step("three_pass", run_three_pass, context,
-                            opts.max_iterations, budget)
+        # --- merged-mode refinement (3.2) ---
+        step("data_refinement", refine_data_clocks, context)
+        _report, outcome = step("three_pass", run_three_pass, context,
+                                opts.max_iterations, budget)
 
-    result = MergeResult(
-        merged=context.merged,
-        context=context,
-        outcome=outcome,
-    )
+        result = MergeResult(
+            merged=context.merged,
+            context=context,
+            outcome=outcome,
+        )
 
-    if opts.validate:
-        from repro.core.equivalence import check_equivalence
+        if opts.validate:
+            from repro.core.equivalence import check_equivalence
 
-        check = step("equivalence_validation", check_equivalence, context,
-                     budget)
-        result.validated = True
-        result.validation_mismatches = check.mismatches
+            check = step("equivalence_validation", check_equivalence,
+                         context, budget)
+            result.validated = True
+            result.validation_mismatches = check.mismatches
 
-    result.runtime_seconds = time.perf_counter() - start
+        # Safety net: every merged-mode constraint must answer a
+        # provenance query even if an instrumentation site missed it.
+        context.provenance.backfill(context.merged, rule=RULE_UNION,
+                                    source_modes=mode_names)
+
+        result.runtime_seconds = time.perf_counter() - start
+        if metrics.enabled:
+            added = sum(len(r.added) for r in context.reports)
+            dropped = sum(len(r.dropped) for r in context.reports)
+            conflicts = sum(len(r.conflicts) for r in context.reports)
+            metrics.inc("merge.constraints_added", added)
+            metrics.inc("merge.constraints_dropped", dropped)
+            metrics.inc("merge.step_conflicts", conflicts)
+            metrics.observe("merge.group_seconds", result.runtime_seconds)
+            from repro.obs.metrics import COUNT_BUCKETS
+
+            metrics.observe("merge.group_constraints", len(context.merged),
+                            buckets=COUNT_BUCKETS)
+        if tracer.enabled:
+            tracer.annotate(constraints=len(context.merged),
+                            ok=result.ok,
+                            runtime_ms=round(result.runtime_seconds * 1e3,
+                                             3))
     if opts.strict and not result.ok:
         problems = outcome.residuals + result.validation_mismatches
         raise RefinementError(

@@ -36,6 +36,8 @@ from repro.core.equivalence import check_mode_equivalence
 from repro.core.exceptions_merge import uniquify_exception
 from repro.core.merger import MergeOptions, MergeResult, merge_modes
 from repro.diagnostics import DiagnosticCollector, Severity
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.netlist.netlist import Netlist
 from repro.sdc.commands import Constraint
 from repro.sdc.mode import Mode
@@ -78,6 +80,9 @@ class SignoffGuard:
         self.max_attempts = max(1, options.max_repair_attempts)
         self.attempts = 0
         self.merge_fn = merge_fn or merge_modes
+        #: provenance ledger of the merge under repair; lets SGN
+        #: diagnostics name the exact lineage a repair cuts
+        self._failed_ledger = None
 
     # ------------------------------------------------------------------
     # budgeted primitives
@@ -217,10 +222,32 @@ class SignoffGuard:
             return result
         return None
 
+    def _lineage_details(self, mode_name: str,
+                         culprits: Sequence[Constraint]) -> Dict[str, object]:
+        """Structured lineage of the constraints a repair is about to cut.
+
+        Pulls the provenance records of the failed merge that were sourced
+        from the culprit mode, so the diagnostic names not only the input
+        constraints but what they became in the merged mode.
+        """
+        details: Dict[str, object] = {
+            "culprit_mode": mode_name,
+            "culprit_constraints": [write_constraint(c) for c in culprits],
+        }
+        if self._failed_ledger is not None:
+            lineage = [str(rec) for rec in self._failed_ledger.records()
+                       if mode_name in rec.source_modes]
+            commands = {c.command for c in culprits}
+            matched = [line for line in lineage
+                       if any(line.startswith(cmd) for cmd in commands)]
+            details["merged_lineage"] = matched or lineage[:10]
+        return details
+
     def _repair_constraints(self, names: List[str], mode_name: str,
                             culprits: List[Constraint]
                             ) -> Optional[List[GuardedOutcome]]:
         texts = "; ".join(write_constraint(c) for c in culprits)
+        lineage = self._lineage_details(mode_name, culprits)
         uniquified = self._uniquify_variant(mode_name, culprits)
         if uniquified is not None:
             result = self._try_repaired_merge(names, mode_name, uniquified)
@@ -230,7 +257,9 @@ class SignoffGuard:
                     f"repaired group {{{', '.join(names)}}} by uniquifying "
                     f"{len(culprits)} constraint(s) of mode {mode_name!r}: "
                     f"{texts}",
-                    severity=Severity.WARNING, source=mode_name)
+                    severity=Severity.WARNING, source=mode_name,
+                    details=dict(lineage, repair="uniquified"))
+                get_metrics().inc("signoff.repairs")
                 return [GuardedOutcome(list(names), result, repaired=True)]
         dropped = self._removal_variant(self.by_name[mode_name], culprits)
         result = self._try_repaired_merge(names, mode_name, dropped)
@@ -240,7 +269,9 @@ class SignoffGuard:
                 f"repaired group {{{', '.join(names)}}} by dropping "
                 f"{len(culprits)} constraint(s) of mode {mode_name!r}: "
                 f"{texts}",
-                severity=Severity.WARNING, source=mode_name)
+                severity=Severity.WARNING, source=mode_name,
+                details=dict(lineage, repair="dropped"))
+            get_metrics().inc("signoff.repairs")
             return [GuardedOutcome(list(names), result, repaired=True)]
         return None
 
@@ -261,7 +292,9 @@ class SignoffGuard:
                 f"sign-off guard demoted mode {culprit!r} from group "
                 f"{{{', '.join(names)}}}: no constraint-level repair "
                 f"verified equivalent",
-                severity=Severity.WARNING, source=culprit)
+                severity=Severity.WARNING, source=culprit,
+                details=self._lineage_details(culprit, []))
+            get_metrics().inc("signoff.demotions")
             single = self._merge([self.by_name[culprit]], name=culprit)
             outcomes = [GuardedOutcome(survivors, result, repaired=True)]
             if single is not None:
@@ -286,6 +319,11 @@ class SignoffGuard:
         when the guard could not verify any repair (the caller falls
         back to its usual bisection).
         """
+        tracer = get_tracer()
+        metrics = get_metrics()
+        self._failed_ledger = getattr(
+            getattr(failed, "context", None), "provenance", None)
+        metrics.inc("signoff.guard_engaged")
         problems = (list(failed.outcome.residuals)
                     + list(failed.validation_mismatches))
         self.sink.report(
@@ -294,26 +332,42 @@ class SignoffGuard:
             f"with {len(problems)} mismatch(es); guard engaged "
             f"(first: {problems[0] if problems else 'unknown'})",
             severity=Severity.WARNING, source="+".join(names))
+        attempts_before = self.attempts
         try:
-            subset = self._localize_modes(list(names))
-            self.sink.report(
-                "SGN002",
-                f"culprit localized to modes {{{', '.join(subset)}}} "
-                f"of group {{{', '.join(names)}}}",
-                severity=Severity.INFO, source="+".join(subset))
-            located = self._localize_constraints(subset)
-            if located is not None:
-                mode_name, culprits = located
+            with tracer.span("signoff:guard", modes=list(names),
+                             mismatches=len(problems)) as guard_span:
+                with tracer.span("signoff:bisect", modes=list(names)) as span:
+                    subset = self._localize_modes(list(names))
+                    span.annotate(culprit_modes=list(subset))
                 self.sink.report(
                     "SGN002",
-                    f"culprit constraint(s) of mode {mode_name!r}: "
-                    + "; ".join(write_constraint(c) for c in culprits),
-                    severity=Severity.INFO, source=mode_name)
-                repaired = self._repair_constraints(names, mode_name,
-                                                    culprits)
-                if repaired is not None:
-                    return repaired
-            return self._demote(names, subset)
+                    f"culprit localized to modes {{{', '.join(subset)}}} "
+                    f"of group {{{', '.join(names)}}}",
+                    severity=Severity.INFO, source="+".join(subset))
+                with tracer.span("signoff:delta_debug",
+                                 modes=list(subset)) as span:
+                    located = self._localize_constraints(subset)
+                    if located is not None:
+                        span.annotate(culprit_mode=located[0],
+                                      culprits=len(located[1]))
+                if located is not None:
+                    mode_name, culprits = located
+                    self.sink.report(
+                        "SGN002",
+                        f"culprit constraint(s) of mode {mode_name!r}: "
+                        + "; ".join(write_constraint(c) for c in culprits),
+                        severity=Severity.INFO, source=mode_name)
+                    with tracer.span("signoff:repair", mode=mode_name):
+                        repaired = self._repair_constraints(
+                            names, mode_name, culprits)
+                    if repaired is not None:
+                        guard_span.annotate(outcome="repaired")
+                        return repaired
+                with tracer.span("signoff:repair", modes=list(subset)):
+                    outcomes = self._demote(names, subset)
+                guard_span.annotate(
+                    outcome="demoted" if outcomes is not None else "gave-up")
+                return outcomes
         except _AttemptsExhausted:
             self.sink.report(
                 "SGN005",
@@ -322,3 +376,6 @@ class SignoffGuard:
                 f"{{{', '.join(names)}}}",
                 severity=Severity.WARNING, source="+".join(names))
             return None
+        finally:
+            metrics.inc("signoff.repair_attempts",
+                        self.attempts - attempts_before)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.netlist.netlist import Netlist
+from repro.obs.provenance import ProvenanceLedger
 from repro.sdc.commands import Constraint
 from repro.sdc.mode import Mode
 from repro.timing.graph import TimingGraph, build_graph
@@ -83,6 +84,8 @@ class MergeContext:
         self.reports: List[StepReport] = []
         #: case-analysis constraints dropped in step 3.1.4 (mode, constraint)
         self.dropped_cases: List[Tuple[str, Constraint]] = []
+        #: lineage of every merged-mode constraint (source modes + rule)
+        self.provenance = ProvenanceLedger()
 
     def bound_individuals(self):
         """Bound (resolved) views of the individual modes.

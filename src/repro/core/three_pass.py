@@ -32,6 +32,9 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.steps import MergeContext, StepReport
 from repro.core.watchdog import WatchdogBudget
+from repro.obs.metrics import get_metrics
+from repro.obs.provenance import RULE_DERIVED
+from repro.obs.trace import get_tracer
 from repro.sdc.commands import (
     Constraint,
     ObjectRef,
@@ -409,34 +412,40 @@ class ThreePassRefiner:
 
     def _iterate(self, collect: bool) -> None:
         context = self.context
+        tracer = get_tracer()
         merged_bound = context.bind_merged()
         merged_ex = RelationshipExtractor(merged_bound)
 
         # ---------------- pass 1 ----------------
-        ind_rows = self._ind_endpoint_rows()
-        merged_rows: Dict[Tuple[str, str, str], StateSet] = {}
-        for (ep, lc, cc), states in merged_ex.endpoint_relationships().items():
-            merged_rows[self.graph.name(ep), lc, cc] = states
-
-        all_keys = set(ind_rows) | set(merged_rows)
         mode_count = len(self._ind_extractors)
         ambiguous_pass2: List[Tuple[str, str, str]] = []
-        for key in sorted(all_keys):
-            per_mode = ind_rows.get(key, [EMPTY] * mode_count)
-            merged = merged_rows.get(key, EMPTY)
-            verdict = classify(per_mode, merged)
-            if collect:
-                self.outcome.pass1_entries.append(ComparisonEntry(
-                    level=1, endpoint=key[0], launch=key[1], capture=key[2],
-                    individual=individual_label(per_mode),
-                    merged=states_label(merged), result=verdict))
-            if verdict == "M":
-                continue
-            if verdict == "X":
-                if not self._fix_pass1(key, per_mode, merged, ind_rows):
+        with tracer.span("three_pass:pass1") as span:
+            ind_rows = self._ind_endpoint_rows()
+            merged_rows: Dict[Tuple[str, str, str], StateSet] = {}
+            for (ep, lc, cc), states in \
+                    merged_ex.endpoint_relationships().items():
+                merged_rows[self.graph.name(ep), lc, cc] = states
+
+            all_keys = set(ind_rows) | set(merged_rows)
+            for key in sorted(all_keys):
+                per_mode = ind_rows.get(key, [EMPTY] * mode_count)
+                merged = merged_rows.get(key, EMPTY)
+                verdict = classify(per_mode, merged)
+                if collect:
+                    self.outcome.pass1_entries.append(ComparisonEntry(
+                        level=1, endpoint=key[0], launch=key[1],
+                        capture=key[2],
+                        individual=individual_label(per_mode),
+                        merged=states_label(merged), result=verdict))
+                if verdict == "M":
+                    continue
+                if verdict == "X":
+                    if not self._fix_pass1(key, per_mode, merged, ind_rows):
+                        ambiguous_pass2.append(key)
+                else:
                     ambiguous_pass2.append(key)
-            else:
-                ambiguous_pass2.append(key)
+            span.annotate(keys=len(all_keys),
+                          ambiguous=len(ambiguous_pass2))
 
         if not ambiguous_pass2:
             return
@@ -444,40 +453,46 @@ class ThreePassRefiner:
         # ---------------- pass 2 ----------------
         if self.budget is not None:
             self.budget.check_time("three_pass")
-        endpoints = frozenset(key[0] for key in ambiguous_pass2)
-        ambiguous_keys = set(ambiguous_pass2)
-        ind_pairs = self._ind_pair_rows(endpoints)
-        merged_pairs: Dict[Tuple[str, str, str, str], StateSet] = {}
-        ep_nodes = {self.graph.node(name) for name in endpoints}
-        for (sp, ep, lc, cc), states in \
-                merged_ex.pair_relationships(ep_nodes).items():
-            merged_pairs[self.graph.name(sp), self.graph.name(ep), lc, cc] \
-                = states
-
-        pair_keys = {k for k in (set(ind_pairs) | set(merged_pairs))
-                     if (k[1], k[2], k[3]) in ambiguous_keys}
         ambiguous_pass3: List[Tuple[str, str, str, str]] = []
-        for key in sorted(pair_keys):
-            per_mode = ind_pairs.get(key, [EMPTY] * mode_count)
-            merged = merged_pairs.get(key, EMPTY)
-            verdict = classify(per_mode, merged)
-            if collect:
-                self.outcome.pass2_entries.append(ComparisonEntry(
-                    level=2, startpoint=key[0], endpoint=key[1],
-                    launch=key[2], capture=key[3],
-                    individual=individual_label(per_mode),
-                    merged=states_label(merged), result=verdict))
-            if verdict == "M":
-                continue
-            if verdict == "X":
-                if not self._fix_pass2(key, per_mode, merged, ind_pairs):
+        with tracer.span("three_pass:pass2") as span:
+            endpoints = frozenset(key[0] for key in ambiguous_pass2)
+            ambiguous_keys = set(ambiguous_pass2)
+            ind_pairs = self._ind_pair_rows(endpoints)
+            merged_pairs: Dict[Tuple[str, str, str, str], StateSet] = {}
+            ep_nodes = {self.graph.node(name) for name in endpoints}
+            for (sp, ep, lc, cc), states in \
+                    merged_ex.pair_relationships(ep_nodes).items():
+                merged_pairs[self.graph.name(sp), self.graph.name(ep),
+                             lc, cc] = states
+
+            pair_keys = {k for k in (set(ind_pairs) | set(merged_pairs))
+                         if (k[1], k[2], k[3]) in ambiguous_keys}
+            for key in sorted(pair_keys):
+                per_mode = ind_pairs.get(key, [EMPTY] * mode_count)
+                merged = merged_pairs.get(key, EMPTY)
+                verdict = classify(per_mode, merged)
+                if collect:
+                    self.outcome.pass2_entries.append(ComparisonEntry(
+                        level=2, startpoint=key[0], endpoint=key[1],
+                        launch=key[2], capture=key[3],
+                        individual=individual_label(per_mode),
+                        merged=states_label(merged), result=verdict))
+                if verdict == "M":
+                    continue
+                if verdict == "X":
+                    if not self._fix_pass2(key, per_mode, merged, ind_pairs):
+                        ambiguous_pass3.append(key)
+                else:
                     ambiguous_pass3.append(key)
-            else:
-                ambiguous_pass3.append(key)
+            span.annotate(keys=len(pair_keys),
+                          ambiguous=len(ambiguous_pass3))
 
         # ---------------- pass 3 ----------------
-        for sp_name, ep_name, lc, cc in ambiguous_pass3:
-            self._refine_pair(merged_ex, sp_name, ep_name, lc, cc, collect)
+        with tracer.span("three_pass:pass3") as span:
+            span.annotate(pairs=len(ambiguous_pass3))
+            for sp_name, ep_name, lc, cc in ambiguous_pass3:
+                self._refine_pair(merged_ex, sp_name, ep_name, lc, cc,
+                                  collect)
 
     # ------------------------------------------------------------------
     # pass-1 fixes
@@ -538,9 +553,15 @@ class ThreePassRefiner:
             if not fixes:
                 return True
             if self._validate(target, rows, matcher):
+                target_label = target.label() if target is not None else "-"
                 for fix in fixes:
                     self.context.merged.add(fix)
                     self.outcome.added.append(fix)
+                    self.context.provenance.record(
+                        fix, RULE_DERIVED,
+                        list(self.context.mode_names()), step="three_pass",
+                        detail=f"fix restoring individual requirement "
+                               f"{target_label}")
                 return True
         return False
 
@@ -717,4 +738,8 @@ def run_three_pass(context: MergeContext, max_iterations: int = 8,
     for residual in outcome.residuals:
         report.conflict(context.mode_names(), residual)
     report.note(f"{outcome.iterations} refinement iteration(s)")
+    metrics = get_metrics()
+    metrics.inc("three_pass.iterations", outcome.iterations)
+    metrics.inc("three_pass.fixes", len(outcome.added))
+    metrics.inc("three_pass.residuals", len(outcome.residuals))
     return report, outcome

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import BudgetExceededError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 
 
 @dataclass
@@ -57,6 +59,20 @@ class WatchdogBudget:
                 or self.max_passes is not None
                 or self.max_graph_nodes is not None)
 
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall-clock seconds left on the armed budget (None = unbounded)."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.perf_counter())
+
+    def _trip(self, error: BudgetExceededError) -> None:
+        get_metrics().inc("watchdog.budget_exceeded")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.annotate(budget_exceeded=error.kind,
+                            budget_engine=error.engine)
+        raise error
+
     def check_time(self, engine: str) -> None:
         """Raise when the wall-clock budget is spent."""
         if self._deadline is None:
@@ -67,22 +83,22 @@ class WatchdogBudget:
         now = time.perf_counter()
         if now > self._deadline:
             spent = self.budget_seconds + (now - self._deadline)
-            raise BudgetExceededError(
+            self._trip(BudgetExceededError(
                 engine, "wall-clock", f"{self.budget_seconds:g}s",
-                f"{spent:.3f}s")
+                f"{spent:.3f}s"))
 
     def tick_pass(self, engine: str) -> None:
         """Count one refinement pass; raise past the pass limit."""
         self._passes_used += 1
         if self.max_passes is not None and self._passes_used > self.max_passes:
-            raise BudgetExceededError(
-                engine, "pass-count", self.max_passes, self._passes_used)
+            self._trip(BudgetExceededError(
+                engine, "pass-count", self.max_passes, self._passes_used))
         self.check_time(engine)
 
     def check_graph(self, node_count: int, engine: str) -> None:
         """Refuse to walk a graph larger than the size limit."""
         if self.max_graph_nodes is not None \
                 and node_count > self.max_graph_nodes:
-            raise BudgetExceededError(
-                engine, "graph-size", self.max_graph_nodes, node_count)
+            self._trip(BudgetExceededError(
+                engine, "graph-size", self.max_graph_nodes, node_count))
         self.check_time(engine)

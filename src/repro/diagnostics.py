@@ -263,14 +263,19 @@ class DiagnosticCollector:
     # -- recording ------------------------------------------------------
     def add(self, diagnostic: Diagnostic) -> Diagnostic:
         self.diagnostics.append(diagnostic)
+        from repro.obs.metrics import get_metrics
+
+        get_metrics().inc("diagnostics.emitted")
         return diagnostic
 
     def report(self, code: str, message: str,
                severity: Severity = Severity.ERROR, source: str = "",
-               line: int = 0, hint: str = "") -> Diagnostic:
+               line: int = 0, hint: str = "",
+               details: Optional[Dict[str, object]] = None) -> Diagnostic:
         return self.add(Diagnostic(
             code=code, message=message, severity=severity, source=source,
-            line=line, hint=hint or _CODE_HINTS.get(code, "")))
+            line=line, hint=hint or _CODE_HINTS.get(code, ""),
+            details=dict(details) if details else {}))
 
     def capture(self, exc: BaseException, source: str = "",
                 severity: Severity = Severity.ERROR,
@@ -330,7 +335,20 @@ class DiagnosticCollector:
             f"{self.count(Severity.INFO)} info")
         return "\n".join(lines)
 
+    def by_code_counts(self) -> Dict[str, int]:
+        """How many findings each stable code produced."""
+        counts: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+        return dict(sorted(counts.items()))
+
     def to_dict(self) -> dict:
+        """The complete collector-level artifact.
+
+        Everything a caller needs — policy, per-severity and per-code
+        counts, worst severity, the exit-code contract — is derived here
+        in one place; consumers (the CLI included) must not re-derive it.
+        """
         return {
             "schema_version": DIAGNOSTICS_SCHEMA_VERSION,
             "policy": self.policy.value if self.policy else None,
@@ -340,6 +358,8 @@ class DiagnosticCollector:
                 "warning": self.count(Severity.WARNING),
                 "info": self.count(Severity.INFO),
             },
+            "by_code": self.by_code_counts(),
+            "worst": self.worst.value if self.worst else None,
             "exit_code": self.exit_code(),
         }
 

@@ -1,0 +1,74 @@
+"""Observability for the merge pipeline: tracing, metrics, provenance.
+
+Three layers, all free when disabled:
+
+* :mod:`repro.obs.trace` — hierarchical spans with wall-time and
+  attributes, exported as JSONL or Chrome ``trace_event``;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms under a
+  stable-name contract, exported as JSON or Prometheus text;
+* :mod:`repro.obs.provenance` — per-constraint merge lineage (source
+  modes + merge rule), surfaced by ``repro report --provenance``.
+
+See docs/OBSERVABILITY.md for the span taxonomy, the metric name
+contract, and the provenance record schema.
+"""
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    METRIC_CONTRACT,
+    METRICS_SCHEMA_VERSION,
+    SECONDS_BUCKETS,
+    MetricsRegistry,
+    NullMetrics,
+    collecting,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.provenance import (
+    MERGE_RULES,
+    PROVENANCE_SCHEMA_VERSION,
+    RULE_DERIVED,
+    RULE_INTERSECTION,
+    RULE_TOLERANCE,
+    RULE_UNION,
+    RULE_UNIQUIFIED,
+    ProvenanceLedger,
+    ProvenanceRecord,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "MERGE_RULES",
+    "METRIC_CONTRACT",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullTracer",
+    "PROVENANCE_SCHEMA_VERSION",
+    "ProvenanceLedger",
+    "ProvenanceRecord",
+    "RULE_DERIVED",
+    "RULE_INTERSECTION",
+    "RULE_TOLERANCE",
+    "RULE_UNION",
+    "RULE_UNIQUIFIED",
+    "SECONDS_BUCKETS",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "collecting",
+    "get_metrics",
+    "get_tracer",
+    "set_metrics",
+    "set_tracer",
+    "tracing",
+]

@@ -1,0 +1,196 @@
+"""Merge provenance: which modes and which rule produced each constraint?
+
+Every constraint in a merged mode got there via one of five merge rules:
+
+* ``union`` — carried over from one or more source modes as-is (clock
+  union, external delays);
+* ``tolerance-window`` — several per-mode values collapsed into one
+  representative within the engine tolerance (clock uncertainty/latency,
+  drive/load values);
+* ``intersection`` — present in (and identical across) every source mode
+  (case analysis, disable timing, exceptions common to all modes);
+* ``uniquified`` — restricted to its source modes by clock scoping so it
+  cannot leak onto other modes' paths (mode-specific exceptions);
+* ``derived`` — synthesized by the pipeline itself rather than copied
+  from any mode (clock-exclusivity groups, clock-sense stops, data
+  refinement false paths, 3-pass fix constraints).
+
+The :class:`ProvenanceLedger` lives on the per-group ``MergeContext`` and
+maps each merged-mode constraint to a :class:`ProvenanceRecord`.  SDC
+constraints are frozen dataclasses with *structural* equality — two equal
+constraints from different origins are distinct objects — so the ledger
+keys by ``id()`` and keeps a reference to every recorded constraint to
+pin those ids for the ledger's lifetime.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+#: Version of the provenance record schema (in reports and diagnostics).
+PROVENANCE_SCHEMA_VERSION = 1
+
+RULE_UNION = "union"
+RULE_TOLERANCE = "tolerance-window"
+RULE_INTERSECTION = "intersection"
+RULE_UNIQUIFIED = "uniquified"
+RULE_DERIVED = "derived"
+
+#: The closed set of merge rules a record may carry.
+MERGE_RULES = (RULE_UNION, RULE_TOLERANCE, RULE_INTERSECTION,
+               RULE_UNIQUIFIED, RULE_DERIVED)
+
+
+def _constraint_text(constraint) -> str:
+    """Render a constraint as SDC text (repr fallback for odd types)."""
+    try:
+        from repro.sdc.writer import write_constraint
+
+        return write_constraint(constraint)
+    except Exception:
+        return repr(constraint)
+
+
+@dataclass
+class ProvenanceRecord:
+    """The lineage of one merged-mode constraint."""
+
+    rule: str
+    #: names of the individual modes this constraint came from; empty for
+    #: purely synthesized (``derived``) constraints with no single source
+    source_modes: List[str] = field(default_factory=list)
+    #: which pipeline step recorded it (``clock_union``, ``exceptions``,
+    #: ``three_pass``, ...)
+    step: str = ""
+    #: free-form detail (tolerance window width, translated case value,
+    #: the residual the 3-pass fix resolves, ...)
+    detail: str = ""
+    constraint: Any = None
+
+    def __post_init__(self) -> None:
+        if self.rule not in MERGE_RULES:
+            raise ValueError(f"unknown merge rule {self.rule!r}; "
+                             f"expected one of {MERGE_RULES}")
+
+    def add_source(self, mode_name: str) -> None:
+        if mode_name not in self.source_modes:
+            self.source_modes.append(mode_name)
+
+    def to_dict(self) -> dict:
+        return {
+            "constraint": _constraint_text(self.constraint),
+            "rule": self.rule,
+            "source_modes": list(self.source_modes),
+            "step": self.step,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        sources = ",".join(self.source_modes) or "-"
+        text = _constraint_text(self.constraint)
+        out = f"{text}  <= {self.rule} [{sources}]"
+        if self.detail:
+            out += f" ({self.detail})"
+        return out
+
+
+class ProvenanceLedger:
+    """id-keyed map from merged-mode constraints to their lineage."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, ProvenanceRecord] = {}
+        #: insertion-ordered constraint refs; pins ids and drives export
+        self._order: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, constraint, rule: str,
+               source_modes: Optional[Sequence[str]] = None,
+               step: str = "", detail: str = "") -> ProvenanceRecord:
+        """Record (or update) the lineage of one constraint.
+
+        Re-recording the same constraint object merges the source-mode
+        lists and keeps the first rule — steps that touch a constraint
+        twice (e.g. clock union finding the same clock in a second mode)
+        accumulate sources instead of clobbering lineage.
+        """
+        existing = self._records.get(id(constraint))
+        if existing is not None:
+            for name in (source_modes or ()):
+                existing.add_source(name)
+            if detail and not existing.detail:
+                existing.detail = detail
+            return existing
+        rec = ProvenanceRecord(rule=rule,
+                               source_modes=list(source_modes or ()),
+                               step=step, detail=detail,
+                               constraint=constraint)
+        self._records[id(constraint)] = rec
+        self._order.append(constraint)
+        return rec
+
+    def lookup(self, constraint) -> Optional[ProvenanceRecord]:
+        return self._records.get(id(constraint))
+
+    def records(self) -> List[ProvenanceRecord]:
+        """All records in insertion order."""
+        return [self._records[id(c)] for c in self._order]
+
+    def backfill(self, constraints: Iterable[Any], rule: str = RULE_UNION,
+                 source_modes: Optional[Sequence[str]] = None,
+                 step: str = "backfill") -> int:
+        """Record a default lineage for any constraint not yet covered.
+
+        The safety net ``merge_modes`` runs after the pipeline: every
+        merged-mode constraint must answer a provenance query even if an
+        instrumentation site was missed.  Returns how many records were
+        created.
+        """
+        created = 0
+        for constraint in constraints:
+            if id(constraint) not in self._records:
+                self.record(constraint, rule, source_modes, step=step,
+                            detail="lineage backfilled")
+                created += 1
+        return created
+
+    def lineage_of(self, constraints: Iterable[Any]) -> List[str]:
+        """One-line lineage strings for ``constraints`` (for diagnostics).
+
+        Constraints without a record render as bare SDC text so a guard
+        repair can always name what it cut.
+        """
+        lines: List[str] = []
+        for constraint in constraints:
+            rec = self.lookup(constraint)
+            lines.append(str(rec) if rec is not None
+                         else _constraint_text(constraint))
+        return lines
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for rec in self.records():
+            counts[rec.rule] = counts.get(rec.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": PROVENANCE_SCHEMA_VERSION,
+            "records": [rec.to_dict() for rec in self.records()],
+            "by_rule": self.by_rule(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    def format(self, limit: int = 0) -> str:
+        """Human-readable listing (all records, or the first ``limit``)."""
+        records = self.records()
+        shown = records if limit <= 0 else records[:limit]
+        lines = [str(rec) for rec in shown]
+        if limit > 0 and len(records) > limit:
+            lines.append(f"... ({len(records) - limit} more)")
+        return "\n".join(lines)

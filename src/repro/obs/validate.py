@@ -1,0 +1,169 @@
+"""Schema validation for the observability artifacts.
+
+CI runs a merge with ``--trace``/``--metrics`` and validates the emitted
+files here before uploading them as workflow artifacts — a cheap guard
+against silently shipping artifacts downstream tooling can't read.  No
+external JSON-schema dependency: the checks are hand-rolled against the
+documented layouts (docs/OBSERVABILITY.md).
+
+Usable as a module::
+
+    python -m repro.obs.validate --trace t.json --metrics m.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+from repro.obs.metrics import METRIC_CONTRACT, METRICS_SCHEMA_VERSION
+from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+
+def validate_trace_jsonl(text: str) -> List[str]:
+    """Problems with a JSONL trace artifact (empty list = valid)."""
+    problems: List[str] = []
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return ["trace file is empty"]
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        return [f"header line is not JSON: {exc}"]
+    if header.get("kind") != "repro-trace":
+        problems.append(f"header kind is {header.get('kind')!r}, "
+                        f"expected 'repro-trace'")
+    if header.get("schema_version") != TRACE_SCHEMA_VERSION:
+        problems.append(f"header schema_version is "
+                        f"{header.get('schema_version')!r}, expected "
+                        f"{TRACE_SCHEMA_VERSION}")
+    if len(lines) < 2:
+        problems.append("trace has a header but no spans")
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            span = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"line {i} is not JSON: {exc}")
+            continue
+        for key in ("name", "start_s", "dur_s", "depth", "attrs"):
+            if key not in span:
+                problems.append(f"line {i} span missing {key!r}")
+        if not isinstance(span.get("attrs", {}), dict):
+            problems.append(f"line {i} attrs is not an object")
+        if span.get("dur_s", 0) < 0:
+            problems.append(f"line {i} has negative duration")
+    return problems
+
+
+def validate_trace_chrome(text: str) -> List[str]:
+    """Problems with a Chrome ``trace_event`` artifact."""
+    try:
+        record = json.loads(text)
+    except ValueError as exc:
+        return [f"not JSON: {exc}"]
+    events = record.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    problems: List[str] = []
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {i} missing {key!r}")
+        if event.get("ph") != "X":
+            problems.append(f"event {i} ph is {event.get('ph')!r}, "
+                            f"expected 'X' (complete event)")
+    return problems
+
+
+def validate_trace(text: str) -> List[str]:
+    """Dispatch on the artifact's shape: JSONL header vs chrome object."""
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in text:
+        return validate_trace_chrome(text)
+    return validate_trace_jsonl(text)
+
+
+def validate_metrics(text: str) -> List[str]:
+    """Problems with a metrics JSON artifact (empty list = valid)."""
+    try:
+        record = json.loads(text)
+    except ValueError as exc:
+        return [f"not JSON: {exc}"]
+    problems: List[str] = []
+    if record.get("kind") != "repro-metrics":
+        problems.append(f"kind is {record.get('kind')!r}, "
+                        f"expected 'repro-metrics'")
+    if record.get("schema_version") != METRICS_SCHEMA_VERSION:
+        problems.append(f"schema_version is "
+                        f"{record.get('schema_version')!r}, expected "
+                        f"{METRICS_SCHEMA_VERSION}")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(record.get(section), dict):
+            problems.append(f"{section} is missing or not an object")
+    for name, value in record.get("counters", {}).items():
+        if name not in METRIC_CONTRACT:
+            problems.append(f"counter {name!r} is not in METRIC_CONTRACT")
+        elif METRIC_CONTRACT[name][0] != "counter":
+            problems.append(f"{name!r} exported as counter but declared "
+                            f"{METRIC_CONTRACT[name][0]}")
+        if not isinstance(value, (int, float)):
+            problems.append(f"counter {name!r} value is not numeric")
+    for name in record.get("gauges", {}):
+        if name in METRIC_CONTRACT and METRIC_CONTRACT[name][0] != "gauge":
+            problems.append(f"{name!r} exported as gauge but declared "
+                            f"{METRIC_CONTRACT[name][0]}")
+    for name, hist in record.get("histograms", {}).items():
+        if name in METRIC_CONTRACT \
+                and METRIC_CONTRACT[name][0] != "histogram":
+            problems.append(f"{name!r} exported as histogram but declared "
+                            f"{METRIC_CONTRACT[name][0]}")
+        if not isinstance(hist, dict):
+            problems.append(f"histogram {name!r} is not an object")
+            continue
+        buckets = hist.get("buckets")
+        counts = hist.get("counts")
+        if not isinstance(buckets, list) or not isinstance(counts, list):
+            problems.append(f"histogram {name!r} missing buckets/counts")
+        elif len(counts) != len(buckets) + 1:
+            problems.append(f"histogram {name!r} needs "
+                            f"len(buckets)+1 counts (+Inf bucket)")
+        if isinstance(counts, list) and \
+                hist.get("count") != sum(counts):
+            problems.append(f"histogram {name!r} count != sum(counts)")
+    return problems
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate repro trace/metrics artifacts.")
+    parser.add_argument("--trace", help="trace file (jsonl or chrome)")
+    parser.add_argument("--metrics", help="metrics JSON file")
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("nothing to validate: pass --trace and/or --metrics")
+
+    failed = False
+    for label, path, check in (("trace", args.trace, validate_trace),
+                               ("metrics", args.metrics, validate_metrics)):
+        if not path:
+            continue
+        with open(path) as handle:
+            problems = check(handle.read())
+        if problems:
+            failed = True
+            print(f"{label} {path}: INVALID", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+        else:
+            print(f"{label} {path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

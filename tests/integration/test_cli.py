@@ -261,3 +261,82 @@ class TestCheckpointResume:
         captured = capsys.readouterr()
         assert "SGN008" in captured.err  # stale checkpoint discarded
         assert "[restored]" not in captured.out
+
+
+class TestObservabilityFlags:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro-merge" in capsys.readouterr().out
+
+    def test_trace_and_metrics_artifacts_validate(self, files, capsys):
+        from repro.obs.validate import validate_metrics, validate_trace
+
+        tmp, netlist, mode_a, mode_b = files
+        trace = tmp / "trace.jsonl"
+        metrics = tmp / "metrics.json"
+        code = main(["--trace", str(trace), "--metrics", str(metrics),
+                     "merge", str(netlist), str(mode_a), str(mode_b),
+                     "-o", str(tmp / "out")])
+        assert code == 0
+        assert validate_trace(trace.read_text()) == []
+        assert validate_metrics(metrics.read_text()) == []
+        out = capsys.readouterr().out
+        assert f"wrote {trace}" in out
+        assert f"wrote {metrics}" in out
+
+    def test_trace_covers_every_pipeline_phase(self, files):
+        tmp, netlist, mode_a, mode_b = files
+        trace = tmp / "trace.jsonl"
+        assert main(["--trace", str(trace), "merge", str(netlist),
+                     str(mode_a), str(mode_b), "-o", str(tmp / "out")]) == 0
+        import json
+
+        names = {json.loads(line)["name"]
+                 for line in trace.read_text().splitlines()[1:]}
+        assert {"run", "parse", "mergeability", "merge"} <= names
+        assert any(n.startswith("group:") for n in names)
+        assert any(n.startswith("step:") for n in names)
+        assert any(n.startswith("three_pass:") for n in names)
+
+    def test_chrome_trace_format(self, files):
+        tmp, netlist, mode_a, mode_b = files
+        trace = tmp / "trace.json"
+        assert main(["--trace", str(trace), "--trace-format", "chrome",
+                     "merge", str(netlist), str(mode_a), str(mode_b),
+                     "-o", str(tmp / "out")]) == 0
+        import json
+
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+
+    def test_prometheus_metrics_format(self, files):
+        tmp, netlist, mode_a, mode_b = files
+        metrics = tmp / "metrics.prom"
+        assert main(["--metrics", str(metrics),
+                     "--metrics-format", "prometheus",
+                     "merge", str(netlist), str(mode_a), str(mode_b),
+                     "-o", str(tmp / "out")]) == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_merge_runs counter" in text
+        assert "repro_merge_modes_in 2" in text
+
+    def test_merge_provenance_flag(self, files, capsys):
+        tmp, netlist, mode_a, mode_b = files
+        code = main(["merge", str(netlist), str(mode_a), str(mode_b),
+                     "-o", str(tmp / "out"), "--provenance"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "provenance" in out
+        assert "<= " in out
+        assert "union" in out
+
+    def test_report_provenance_flag(self, files, capsys):
+        tmp, netlist, mode_a, mode_b = files
+        code = main(["report", str(netlist), str(mode_a), str(mode_b),
+                     "--provenance"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "provenance" in out
+        assert "<= " in out

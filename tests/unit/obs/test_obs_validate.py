@@ -1,0 +1,107 @@
+"""Unit tests for the artifact schema validators (repro.obs.validate)."""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.obs.validate import (
+    main,
+    validate_metrics,
+    validate_trace,
+    validate_trace_chrome,
+    validate_trace_jsonl,
+)
+
+
+def _traced():
+    tracer = Tracer()
+    with tracer.span("merge"):
+        with tracer.span("step:clock_union"):
+            pass
+    return tracer
+
+
+class TestTraceValidation:
+    def test_valid_jsonl(self):
+        assert validate_trace_jsonl(_traced().to_jsonl()) == []
+
+    def test_valid_chrome(self):
+        assert validate_trace_chrome(_traced().to_chrome()) == []
+
+    def test_dispatch_picks_format(self):
+        assert validate_trace(_traced().to_jsonl()) == []
+        assert validate_trace(_traced().to_chrome()) == []
+
+    def test_empty_file(self):
+        assert validate_trace_jsonl("") == ["trace file is empty"]
+
+    def test_bad_header_kind(self):
+        text = json.dumps({"kind": "nope", "schema_version": 1}) + "\n" \
+            + json.dumps({"name": "s", "start_s": 0, "dur_s": 0,
+                          "depth": 0, "attrs": {}})
+        problems = validate_trace_jsonl(text)
+        assert any("header kind" in p for p in problems)
+
+    def test_missing_span_fields(self):
+        text = json.dumps({"kind": "repro-trace", "schema_version": 1}) \
+            + "\n" + json.dumps({"name": "s"})
+        problems = validate_trace_jsonl(text)
+        assert any("missing 'start_s'" in p for p in problems)
+
+    def test_chrome_wrong_phase(self):
+        payload = json.loads(_traced().to_chrome())
+        payload["traceEvents"][0]["ph"] = "B"
+        problems = validate_trace_chrome(json.dumps(payload))
+        assert any("expected 'X'" in p for p in problems)
+
+
+class TestMetricsValidation:
+    def _valid(self):
+        registry = MetricsRegistry()
+        registry.inc("merge.runs")
+        registry.observe("sta.run_seconds", 0.01)
+        return registry
+
+    def test_valid_registry_export(self):
+        assert validate_metrics(self._valid().to_json()) == []
+
+    def test_undeclared_counter_rejected(self):
+        payload = json.loads(self._valid().to_json())
+        payload["counters"]["made.up"] = 1
+        problems = validate_metrics(json.dumps(payload))
+        assert any("not in METRIC_CONTRACT" in p for p in problems)
+
+    def test_kind_mismatch_rejected(self):
+        payload = json.loads(self._valid().to_json())
+        payload["counters"]["merge.reduction_percent"] = 1
+        problems = validate_metrics(json.dumps(payload))
+        assert any("declared gauge" in p for p in problems)
+
+    def test_histogram_shape_enforced(self):
+        payload = json.loads(self._valid().to_json())
+        payload["histograms"]["sta.run_seconds"]["counts"] = [1]
+        problems = validate_metrics(json.dumps(payload))
+        assert any("+Inf" in p for p in problems)
+
+    def test_not_json(self):
+        assert validate_metrics("not-json")[0].startswith("not JSON")
+
+
+class TestMain:
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        _traced().write(trace)
+        self_reg = MetricsRegistry()
+        self_reg.inc("merge.runs")
+        self_reg.write(metrics)
+        code = main(["--trace", str(trace), "--metrics", str(metrics)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "ok" in out
+
+    def test_invalid_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["--metrics", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err

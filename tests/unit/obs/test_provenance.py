@@ -1,0 +1,115 @@
+"""Unit tests for the merge-provenance ledger (repro.obs.provenance)."""
+
+import pytest
+
+from repro.obs.provenance import (
+    MERGE_RULES,
+    RULE_DERIVED,
+    RULE_INTERSECTION,
+    RULE_UNION,
+    ProvenanceLedger,
+    ProvenanceRecord,
+)
+from repro.sdc.commands import ObjectRef, SetCaseAnalysis
+
+
+def _case(port="scan_mode", value=0):
+    return SetCaseAnalysis(value=value, objects=ObjectRef.ports(port))
+
+
+class TestRecord:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown merge rule"):
+            ProvenanceRecord(rule="guesswork")
+
+    def test_str_carries_rule_sources_detail(self):
+        record = ProvenanceRecord(rule=RULE_UNION, source_modes=["A", "B"],
+                                  constraint=_case(), detail="as-is")
+        text = str(record)
+        assert "set_case_analysis 0" in text
+        assert "<= union [A,B]" in text
+        assert "(as-is)" in text
+
+    def test_to_dict_renders_constraint_text(self):
+        record = ProvenanceRecord(rule=RULE_DERIVED, constraint=_case())
+        payload = record.to_dict()
+        assert payload["rule"] == "derived"
+        assert payload["constraint"].startswith("set_case_analysis")
+
+
+class TestLedger:
+    def test_identity_keyed_not_equality_keyed(self):
+        """Two structurally equal constraints keep distinct lineages."""
+        ledger = ProvenanceLedger()
+        first, second = _case(), _case()
+        assert first == second and first is not second
+        ledger.record(first, RULE_UNION, ["A"])
+        ledger.record(second, RULE_DERIVED, ["B"])
+        assert len(ledger) == 2
+        assert ledger.lookup(first).rule == RULE_UNION
+        assert ledger.lookup(second).rule == RULE_DERIVED
+
+    def test_rerecord_accumulates_sources_keeps_first_rule(self):
+        ledger = ProvenanceLedger()
+        constraint = _case()
+        ledger.record(constraint, RULE_UNION, ["A"])
+        ledger.record(constraint, RULE_INTERSECTION, ["B"])
+        record = ledger.lookup(constraint)
+        assert record.rule == RULE_UNION
+        assert record.source_modes == ["A", "B"]
+
+    def test_backfill_covers_only_missing(self):
+        ledger = ProvenanceLedger()
+        recorded, missing = _case("a"), _case("b")
+        ledger.record(recorded, RULE_INTERSECTION, ["A"])
+        created = ledger.backfill([recorded, missing], source_modes=["A"])
+        assert created == 1
+        assert ledger.lookup(missing).detail == "lineage backfilled"
+        assert ledger.lookup(recorded).rule == RULE_INTERSECTION
+
+    def test_lineage_of_falls_back_to_text(self):
+        ledger = ProvenanceLedger()
+        unknown = _case("cfg0")
+        lines = ledger.lineage_of([unknown])
+        assert lines == ["set_case_analysis 0 [get_ports cfg0]"]
+
+    def test_by_rule_and_to_dict(self):
+        ledger = ProvenanceLedger()
+        ledger.record(_case("a"), RULE_UNION, ["A"])
+        ledger.record(_case("b"), RULE_UNION, ["A", "B"])
+        ledger.record(_case("c"), RULE_DERIVED)
+        assert ledger.by_rule() == {RULE_UNION: 2, RULE_DERIVED: 1}
+        payload = ledger.to_dict()
+        assert payload["schema_version"] == 1
+        assert len(payload["records"]) == 3
+
+    def test_format_limit(self):
+        ledger = ProvenanceLedger()
+        for i in range(5):
+            ledger.record(_case(f"p{i}"), RULE_UNION, ["A"])
+        text = ledger.format(limit=2)
+        assert "p0" in text and "p1" in text
+        assert "... (3 more)" in text
+
+
+class TestEndToEnd:
+    def test_every_merged_constraint_answers_provenance(
+            self, pipeline_netlist):
+        """Acceptance: full rule/source coverage after a real merge."""
+        from repro.core import merge_modes
+        from repro.sdc import parse_mode
+
+        mode_a = parse_mode(
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_case_analysis 0 [get_ports in2]\n", "A")
+        mode_b = parse_mode(
+            "create_clock -name c -period 10 [get_ports clk]\n"
+            "set_case_analysis 0 [get_ports in2]\n", "B")
+        result = merge_modes(pipeline_netlist, [mode_a, mode_b])
+        ledger = result.context.provenance
+        for constraint in result.merged:
+            record = ledger.lookup(constraint)
+            assert record is not None, constraint
+            assert record.rule in MERGE_RULES
+            assert record.source_modes or record.rule == RULE_DERIVED
+        assert "provenance" in result.to_dict()

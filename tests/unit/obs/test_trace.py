@@ -1,0 +1,137 @@
+"""Unit tests for the hierarchical tracer (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+class TestSpanTree:
+    def test_nesting_and_durations(self):
+        tracer = Tracer()
+        with tracer.span("outer", modes=["A", "B"]):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s, _ in tracer.walk()] == ["outer", "inner"]
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert inner.parent is outer
+        assert outer.duration >= inner.duration >= 0.0
+        assert outer.attrs == {"modes": ["A", "B"]}
+
+    def test_annotate_targets_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.annotate(count=3)
+        assert tracer.find("inner")[0].attrs == {"count": 3}
+        assert tracer.find("outer")[0].attrs == {}
+
+    def test_span_handle_yields_span_for_direct_annotate(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.annotate(k="v")
+        assert tracer.find("s")[0].attrs == {"k": "v"}
+
+    def test_exception_marks_span_and_closes_it(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        span = tracer.find("failing")[0]
+        assert span.attrs["error"] == "RuntimeError"
+        assert span.end is not None
+        assert tracer.current is None
+
+    def test_siblings_become_forest_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("s"):
+            assert tracer.current.name == "s"
+        assert tracer.current is None
+
+
+class TestExport:
+    def _tracer(self):
+        tracer = Tracer()
+        with tracer.span("merge", modes=("A", "B")):
+            with tracer.span("step:clock_union"):
+                pass
+        return tracer
+
+    def test_jsonl_header_and_rows(self):
+        lines = self._tracer().to_jsonl().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "repro-trace"
+        assert header["schema_version"] == 1
+        rows = [json.loads(line) for line in lines[1:]]
+        assert [r["name"] for r in rows] == ["merge", "step:clock_union"]
+        assert rows[0]["depth"] == 0 and rows[1]["depth"] == 1
+        assert rows[1]["parent"] == "merge"
+        assert rows[0]["attrs"]["modes"] == ["A", "B"]  # tuple -> list
+
+    def test_chrome_events(self):
+        payload = json.loads(self._tracer().to_chrome())
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+
+    def test_export_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            self._tracer().export("xml")
+
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._tracer().write(path)
+        assert json.loads(path.read_text().splitlines()[0])["kind"] \
+            == "repro-trace"
+
+    def test_format_tree(self):
+        text = self._tracer().format_tree()
+        assert "merge:" in text
+        assert "  step:clock_union:" in text
+
+
+class TestAmbient:
+    def test_default_is_null(self):
+        tracer = get_tracer()
+        assert isinstance(tracer, NullTracer)
+        assert not tracer.enabled
+        # The null span handle is shared and inert.
+        with tracer.span("x") as span:
+            span.annotate(ignored=True)
+        assert tracer.current is None
+
+    def test_tracing_scope_installs_and_restores(self):
+        tracer = Tracer()
+        with tracing(tracer) as active:
+            assert active is tracer
+            assert get_tracer() is tracer
+        assert not get_tracer().enabled
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            assert set_tracer(previous) is tracer
+        assert not get_tracer().enabled
