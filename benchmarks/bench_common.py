@@ -69,15 +69,23 @@ def bench_rng(site: str, default: int) -> random.Random:
     return random.Random(bench_seed(site, default))
 
 
-def write_bench_json(stem: str, directory: str = ".", **gauges) -> Path:
+def write_bench_json(stem: str, directory: Optional[str] = None,
+                     **gauges) -> Path:
     """Write ``BENCH_<stem>.json`` in the metrics-registry schema.
 
     The artifact is a snapshot of :data:`BENCH_REGISTRY` (every pipeline
     counter/histogram the cached runs emitted) plus the bench's own
     headline numbers as ``bench.<stem>.<name>`` gauges, so all
     ``BENCH_*.json`` files validate against the same schema as
-    ``repro-merge --metrics`` output.
+    ``repro-merge --metrics`` output and diff run-to-run with
+    ``python -m repro.obs.bench_diff``.
+
+    ``directory`` defaults to ``REPRO_BENCH_DIR`` (or the working
+    directory) so CI can route two runs of the same bench into separate
+    snapshot directories and diff them.
     """
+    if directory is None:
+        directory = os.environ.get("REPRO_BENCH_DIR", ".")
     for name, value in gauges.items():
         BENCH_REGISTRY.set_gauge(f"bench.{stem}.{name}", float(value))
     path = Path(directory) / f"BENCH_{stem}.json"

@@ -1,14 +1,17 @@
 """Bench: cost of the observability layer (repro.obs).
 
-Two numbers back the design claim that instrumentation is free when
-nobody is collecting:
+Three numbers back the design claim that instrumentation is free when
+nobody is collecting and cheap when everybody is:
 
 1. the per-call cost of the disabled (ambient-null) tracer/metrics,
    multiplied by a generous over-count of the instrumentation calls one
    merge run makes — an empirical upper bound on the disabled overhead
    of the scenario-reduction workload (<2% acceptance criterion);
 2. the wall-clock ratio of a fully traced + metered run against the
-   default run, reported for shape.
+   default run, reported for shape;
+3. the median full-stack overhead (trace + metrics + decision ledger,
+   everything ``--report-html`` enables) against the default run, which
+   must stay under 10% on the generated workload.
 """
 
 import time
@@ -16,6 +19,7 @@ import time
 import pytest
 
 from repro.core import merge_all
+from repro.obs.explain import DecisionLedger, explaining, get_decisions
 from repro.obs.metrics import MetricsRegistry, collecting, get_metrics
 from repro.obs.trace import Tracer, get_tracer, tracing
 from repro.workloads import figure2_modes, generate
@@ -46,12 +50,15 @@ def test_disabled_overhead_bound(benchmark, workload):
     # Per-call cost of the disabled layer, measured in a tight loop.
     null_tracer = get_tracer()
     null_metrics = get_metrics()
-    assert not null_tracer.enabled and not null_metrics.enabled
+    null_ledger = get_decisions()
+    assert not null_tracer.enabled and not null_metrics.enabled \
+        and not null_ledger.enabled
     n = 100_000
     start = time.perf_counter()
     for _ in range(n):
         with null_tracer.span("x"):
             null_metrics.inc("merge.runs")
+            null_ledger.decide("mergeability.pair", "x")
     per_call = (time.perf_counter() - start) / n
 
     # 10x margin over the observed span count dwarfs any miscount of
@@ -86,3 +93,39 @@ def test_enabled_overhead_ratio(benchmark, workload):
           f"{enabled * 1e3:.0f} ms ({enabled / base:.2f}x)")
     # Even fully enabled, the layer must stay far from dominating.
     assert enabled < 2.0 * base
+
+
+def test_enabled_full_stack_overhead_bound(benchmark, workload):
+    """The whole stack on (trace + metrics + decisions) costs <10%.
+
+    This is the configuration ``--report-html`` enables.  Median of
+    several interleaved timed runs on both sides so a single scheduler
+    hiccup cannot fail (or pass) the bound.
+    """
+    def run():
+        return merge_all(workload.netlist, workload.modes)
+
+    def full_stack():
+        with tracing(Tracer()), collecting(MetricsRegistry()), \
+                explaining(DecisionLedger()):
+            return run()
+
+    run()        # warm caches
+    full_stack()
+    rounds = 5
+    base_times = []
+    full_times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run()
+        base_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        full_stack()
+        full_times.append(time.perf_counter() - start)
+    benchmark.pedantic(full_stack, rounds=1, iterations=1, warmup_rounds=0)
+    base = sorted(base_times)[rounds // 2]
+    full = sorted(full_times)[rounds // 2]
+    overhead = (full - base) / base
+    print(f"\nfull observability stack: median {base * 1e3:.1f} ms -> "
+          f"{full * 1e3:.1f} ms ({100 * overhead:+.1f}%)")
+    assert overhead < 0.10

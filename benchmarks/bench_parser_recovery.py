@@ -11,6 +11,7 @@ import time
 
 import pytest
 
+from bench_common import write_bench_json
 from repro.diagnostics import DegradationPolicy
 from repro.sdc import parse_sdc
 
@@ -61,5 +62,12 @@ def test_recovery_mode_overhead(benchmark):
     assert overhead < 0.10, (
         f"recovery-mode parsing costs {overhead:.1%} over strict "
         f"(budget: 10%)")
+
+    # Snapshot for run-to-run comparison via repro.obs.bench_diff; the
+    # constraint count is deterministic, timings diff within threshold.
+    write_bench_json("parser_recovery",
+                     constraints_parsed=len(strict().mode),
+                     strict_seconds=strict_s,
+                     permissive_seconds=permissive_s)
 
     benchmark(permissive)

@@ -36,6 +36,15 @@ Chrome ``trace_event``), ``--metrics OUT`` writes the metrics registry
 (``--metrics-format`` selects JSON or Prometheus text), and
 ``merge/report --provenance`` prints each merged-mode constraint's
 lineage — which source modes and which merge rule produced it.
+
+``--explain OUT.json`` records every pipeline decision (mergeability
+verdicts, case/exception merges, refinement stops, sign-off repairs)
+as a causal graph, ``--report-html OUT.html`` writes a self-contained
+HTML run report stitching trace, metrics, provenance, diagnostics and
+decisions into one reviewable file, and the ``explain`` verb queries
+the decision graph directly::
+
+    repro-merge explain chip.v modeA.sdc modeB.sdc --query pair:modeA,modeB
 """
 
 from __future__ import annotations
@@ -61,6 +70,12 @@ from repro.diagnostics import (
 )
 from repro.errors import ReproError
 from repro.netlist import read_verilog
+from repro.obs.explain import (
+    DecisionLedger,
+    format_chains,
+    get_decisions,
+    set_decisions,
+)
 from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
 from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.sdc import Mode, parse_mode, write_mode
@@ -142,6 +157,7 @@ def cmd_merge(args: argparse.Namespace, policy: DegradationPolicy,
             collector=collector)
     run = merge_all(netlist, modes, options, collector=collector,
                     checkpoint=checkpoint)
+    args._run = run  # for --report-html / --explain artifact writing
     print(format_merging_run(run))
     out_dir = Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -231,6 +247,29 @@ def cmd_report(args: argparse.Namespace, policy: DegradationPolicy,
     return 0
 
 
+def cmd_explain(args: argparse.Namespace, policy: DegradationPolicy,
+                collector: DiagnosticCollector) -> int:
+    """Run the pipeline under a decision ledger and answer queries.
+
+    Exit 0 when every query matched at least one decision, 1 otherwise
+    (scripts can probe "did the pipeline reject this pair?").
+    """
+    netlist = _load_netlist(args.netlist, args.liberty, collector)
+    modes = _load_modes(args.sdc, policy, collector)
+    options = MergeOptions(policy=policy,
+                           signoff_guard=args.signoff_guard)
+    run = merge_all(netlist, modes, options, collector=collector)
+    args._run = run
+    unmatched = 0
+    for query in args.query:
+        chains = run.explain(query)
+        print(f"explain {query!r}: {len(chains)} matching decision(s)")
+        print(format_chains(chains))
+        if not chains:
+            unmatched += 1
+    return 1 if unmatched else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-merge",
@@ -252,6 +291,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-format", default="json",
                         choices=["json", "prometheus"],
                         help="metrics file format (default json)")
+    parser.add_argument("--explain", default="", metavar="OUT.JSON",
+                        help="record every pipeline decision (mergeability "
+                             "verdicts, merge rules, refinement stops, "
+                             "sign-off repairs) as a causal graph in this "
+                             "JSON file")
+    parser.add_argument("--report-html", default="", metavar="OUT.HTML",
+                        help="write a self-contained HTML run report "
+                             "(trace + metrics + provenance + diagnostics "
+                             "+ decision graph) to this file")
     parser.add_argument("--liberty", default="",
                         help="Liberty (.lib) file defining the cell "
                              "library (default: the built-in generic "
@@ -313,6 +361,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also merge each group and print every "
                                "merged-mode constraint's lineage")
     p_report.set_defaults(func=cmd_report)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="run the pipeline and query its decision graph")
+    p_explain.add_argument("netlist")
+    p_explain.add_argument("sdc", nargs="+", help="per-mode SDC files")
+    p_explain.add_argument("--query", action="append", required=True,
+                           metavar="QUERY",
+                           help="decision query (repeatable): pair:A,B, "
+                                "group:A+B, mode:A, clock:CK@NODE, "
+                                "kind:<kind>, code:SGN003, verdict:<v>, "
+                                "constraint:<text>, or a bare substring")
+    p_explain.add_argument("--signoff-guard", action="store_true",
+                           help="enable the sign-off guard so its repair "
+                                "decisions appear in the graph")
+    p_explain.set_defaults(func=cmd_explain)
     return parser
 
 
@@ -325,7 +389,7 @@ def _write_diagnostics(path: str, collector: DiagnosticCollector) -> None:
         print(f"cannot write diagnostics to {path}: {exc}", file=sys.stderr)
 
 
-def _write_observability(args, tracer, metrics) -> None:
+def _write_observability(args, tracer, metrics, ledger) -> None:
     """Flush trace/metrics artifacts; export errors must not mask the run."""
     if tracer is not None and args.trace:
         try:
@@ -341,6 +405,25 @@ def _write_observability(args, tracer, metrics) -> None:
         except OSError as exc:
             print(f"cannot write metrics to {args.metrics}: {exc}",
                   file=sys.stderr)
+    if ledger is not None and args.explain:
+        try:
+            ledger.write(args.explain)
+            print(f"wrote {args.explain}")
+        except OSError as exc:
+            print(f"cannot write decisions to {args.explain}: {exc}",
+                  file=sys.stderr)
+    if args.report_html:
+        from repro.obs.report_html import write_run_report
+
+        try:
+            write_run_report(
+                args.report_html, run=getattr(args, "_run", None),
+                tracer=tracer, metrics=metrics, decisions=ledger,
+                title=f"repro-merge {args.command}")
+            print(f"wrote {args.report_html}")
+        except OSError as exc:
+            print(f"cannot write run report to {args.report_html}: {exc}",
+                  file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -348,13 +431,21 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     policy = DegradationPolicy.coerce(args.policy)
     collector = DiagnosticCollector(policy)
-    tracer = Tracer() if args.trace else None
-    metrics = MetricsRegistry() if args.metrics else None
+    # The HTML report stitches every layer, so requesting it (like the
+    # explain verb) force-enables the whole stack for the run.
+    want_all = bool(args.report_html) or args.command == "explain"
+    tracer = Tracer() if (args.trace or want_all) else None
+    metrics = MetricsRegistry() if (args.metrics or want_all) else None
+    ledger = DecisionLedger() \
+        if (args.explain or want_all) else None
     previous_tracer = set_tracer(tracer) if tracer is not None else None
     previous_metrics = set_metrics(metrics) if metrics is not None else None
+    previous_ledger = set_decisions(ledger) if ledger is not None else None
     start = time.perf_counter()
     try:
-        with get_tracer().span("run", command=args.command):
+        with get_tracer().span("run", command=args.command), \
+                get_decisions().frame("run", f"run:{args.command}",
+                                      command=args.command):
             try:
                 code = args.func(args, policy, collector)
             except _HardFailure:
@@ -372,10 +463,12 @@ def main(argv=None) -> int:
             set_tracer(previous_tracer)
         if metrics is not None:
             set_metrics(previous_metrics)
+        if ledger is not None:
+            set_decisions(previous_ledger)
     for diagnostic in collector:
         print(diagnostic.format(), file=sys.stderr)
     _write_diagnostics(args.diagnostics, collector)
-    _write_observability(args, tracer, metrics)
+    _write_observability(args, tracer, metrics, ledger)
     return code
 
 

@@ -14,12 +14,14 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.core.steps import MergeContext, StepReport
+from repro.obs.explain import get_decisions
 from repro.obs.provenance import RULE_DERIVED, RULE_INTERSECTION
 from repro.sdc.commands import ObjectRef, PathSpec, SetCaseAnalysis, SetFalsePath
 
 
 def merge_case_analysis(context: MergeContext) -> StepReport:
     report = context.report("case analysis (3.1.4)")
+    ledger = get_decisions()
     mode_count = len(context.modes)
 
     # key (object set) -> list of (mode name, constraint)
@@ -44,6 +46,12 @@ def merge_case_analysis(context: MergeContext) -> StepReport:
                 sample, RULE_INTERSECTION, sorted(present_modes),
                 step="case_analysis",
                 detail=f"same constant {sample.value} in every mode")
+            if ledger.enabled:
+                ledger.decide(
+                    "case.merge", f"case:{sample.objects}",
+                    verdict="kept",
+                    evidence=[f"same constant {sample.value} in every mode"],
+                    modes=sorted(present_modes))
             continue
         if len(present_modes) == mode_count and len(values) > 1:
             # Constant in every mode but at conflicting values: the pin
@@ -62,6 +70,14 @@ def merge_case_analysis(context: MergeContext) -> StepReport:
                 f"case on {sample.objects} conflicts across modes "
                 f"({sorted(values)}); translated to {false_path.command} "
                 f"-through")
+            if ledger.enabled:
+                ledger.decide(
+                    "case.merge", f"case:{sample.objects}",
+                    verdict="translated",
+                    evidence=[f"conflicting values {sorted(values)}: pin "
+                              f"never toggles in any mode",
+                              f"became {false_path.command} -through"],
+                    modes=sorted(present_modes))
             for name, constraint in entries:
                 report.drop(name, constraint)
                 context.dropped_cases.append((name, constraint))
@@ -74,6 +90,14 @@ def merge_case_analysis(context: MergeContext) -> StepReport:
             f"case on {sample.objects} present only in "
             f"{sorted(present_modes)} (missing in {missing}); dropped for "
             f"refinement")
+        if ledger.enabled:
+            ledger.decide(
+                "case.merge", f"case:{sample.objects}",
+                verdict="dropped",
+                evidence=[f"present only in {sorted(present_modes)}, "
+                          f"missing in {missing}",
+                          "refinement will restore precise false paths"],
+                modes=sorted(present_modes))
         for name, constraint in entries:
             report.drop(name, constraint)
             context.dropped_cases.append((name, constraint))

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.steps import MergeContext, StepReport
 from repro.core.watchdog import WatchdogBudget
 from repro.netlist.netlist import Pin, Port
+from repro.obs.explain import get_decisions
 from repro.obs.metrics import get_metrics
 from repro.obs.provenance import RULE_DERIVED
 from repro.obs.trace import get_tracer
@@ -45,6 +46,7 @@ def infer_disables_from_dropped_cases(context: MergeContext,
     if not context.dropped_cases:
         return
     graph = context.graph
+    ledger = get_decisions()
     bounds = context.bound_individuals()
     emitted: Set[int] = set()
     for _mode_name, constraint in context.dropped_cases:
@@ -69,6 +71,14 @@ def infer_disables_from_dropped_cases(context: MergeContext,
                 report.note(
                     f"{graph.name(node)} is constant in every individual "
                     f"mode; inferred set_disable_timing")
+                if ledger.enabled:
+                    ledger.decide(
+                        "refinement.inferred_disable",
+                        f"pin:{graph.name(node)}",
+                        verdict="disabled",
+                        evidence=["constant in every individual mode",
+                                  "case dropped in 3.1.4; disable "
+                                  "inferred in its place"])
 
 
 def find_extra_clock_frontier(graph, merged_prop: ClockPropagation,
@@ -105,6 +115,7 @@ def refine_clock_network(context: MergeContext,
     graph = context.graph
     metrics = get_metrics()
     tracer = get_tracer()
+    ledger = get_decisions()
     if budget is not None:
         # The per-mode propagation walks below visit every graph node;
         # refuse up front rather than grinding through an oversized BFS.
@@ -143,6 +154,16 @@ def refine_clock_network(context: MergeContext,
         report.note(
             f"clock {clock_name} reaches {graph.name(node)} only in the "
             f"merged mode; stopped with set_clock_sense")
+        if ledger.enabled:
+            ledger.decide(
+                "refinement.clock_stop",
+                f"clock:{clock_name}@{graph.name(node)}",
+                verdict="stopped",
+                evidence=[f"clock {clock_name} reaches {graph.name(node)} "
+                          f"only in the merged mode",
+                          "frontier node: no live fanin already carries "
+                          "the extra clock"],
+                clock=clock_name, node=graph.name(node))
     metrics.inc("clock_refinement.nodes_visited", nodes_visited)
     metrics.inc("clock_refinement.stops", len(frontier))
     if tracer.enabled:

@@ -26,6 +26,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.steps import MergeContext, StepReport
+from repro.obs.explain import get_decisions
 from repro.obs.metrics import get_metrics
 from repro.obs.provenance import RULE_INTERSECTION, RULE_UNIQUIFIED
 from repro.sdc.commands import (
@@ -122,8 +123,14 @@ def uniquify_exception(constraint: Constraint,
 def merge_exceptions(context: MergeContext) -> StepReport:
     report = context.report("exceptions (3.1.9/3.1.10)")
     metrics = get_metrics()
+    ledger = get_decisions()
     mode_count = len(context.modes)
     mode_clocks = _mapped_mode_clocks(context)
+
+    def _subject(constraint: Constraint) -> str:
+        from repro.sdc.writer import write_constraint
+
+        return f"constraint:{write_constraint(constraint)}"
 
     groups: Dict[Tuple, List[Tuple[str, Constraint]]] = {}
     order: List[Tuple] = []
@@ -146,6 +153,12 @@ def merge_exceptions(context: MergeContext) -> StepReport:
                 sample, RULE_INTERSECTION, sorted(present),
                 step="exceptions", detail="exception common to all modes")
             metrics.inc("exceptions.intersected")
+            if ledger.enabled:
+                ledger.decide(
+                    "exception.merge", _subject(sample),
+                    verdict="intersected",
+                    evidence=["exception common to all modes"],
+                    modes=sorted(present))
             continue
 
         own_clocks: Set[str] = set()
@@ -164,6 +177,17 @@ def merge_exceptions(context: MergeContext) -> StepReport:
                 if uniquified is not sample
                 else "already unique through its clocks")
             metrics.inc("exceptions.uniquified")
+            if ledger.enabled:
+                ledger.decide(
+                    "exception.merge", _subject(sample),
+                    verdict="uniquified",
+                    evidence=[f"restricted to clocks "
+                              f"{sorted(own_clocks - other_clocks)} of "
+                              f"modes {sorted(present)}"
+                              if uniquified is not sample
+                              else "already unique through its clocks",
+                              f"became {_subject(uniquified)[11:]}"],
+                    modes=sorted(present))
             if uniquified is not sample:
                 report.note(
                     f"{sample.command} of modes {sorted(present)} uniquified "
@@ -176,6 +200,14 @@ def merge_exceptions(context: MergeContext) -> StepReport:
         for name, constraint in entries:
             report.drop(name, constraint)
         metrics.inc("exceptions.dropped", len(entries))
+        if ledger.enabled:
+            ledger.decide(
+                "exception.merge", _subject(sample),
+                verdict="dropped",
+                evidence=[f"not uniquifiable: clocks of modes "
+                          f"{sorted(present)} overlap those of {missing}",
+                          "refinement will attempt precise replacements"],
+                modes=sorted(present))
         if isinstance(sample, SetFalsePath):
             report.note(
                 f"false path of modes {sorted(present)} not uniquifiable "

@@ -38,6 +38,12 @@ from repro.diagnostics import (
 )
 from repro.errors import BudgetExceededError, MergeStepError
 from repro.netlist.netlist import Netlist
+from repro.obs.explain import (
+    get_decisions,
+    group_subject,
+    muted,
+    pair_subject,
+)
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 from repro.sdc.mode import Mode
@@ -100,24 +106,28 @@ def pair_mergeable(netlist: Netlist, mode_a: Mode, mode_b: Mode,
     designs like the paper's design A (95 modes, 4465 pairs).
     """
     opts = options or MergeOptions()
-    try:
-        context = _preliminary_merge(netlist, [mode_a, mode_b], opts,
-                                     skip_clock_refinement=True)
-    except Exception as exc:  # malformed constraints etc.
-        return False, f"preliminary merge failed: {exc}"
-    conflicts = context.all_conflicts()
-    if conflicts:
-        return False, str(conflicts[0])
-    try:
-        refine_clock_network(context)
-    except Exception as exc:
-        return False, f"clock refinement failed: {exc}"
-    conflicts = context.all_conflicts()
-    if conflicts:
-        return False, str(conflicts[0])
-    blocked = clock_blocking_reason(context)
-    if blocked:
-        return False, blocked
+    # Mock merges must not pollute the decision ledger: the scan's own
+    # pair verdicts are the queryable record, and the serial and pooled
+    # paths must produce identical ledgers.
+    with muted():
+        try:
+            context = _preliminary_merge(netlist, [mode_a, mode_b], opts,
+                                         skip_clock_refinement=True)
+        except Exception as exc:  # malformed constraints etc.
+            return False, f"preliminary merge failed: {exc}"
+        conflicts = context.all_conflicts()
+        if conflicts:
+            return False, str(conflicts[0])
+        try:
+            refine_clock_network(context)
+        except Exception as exc:
+            return False, f"clock refinement failed: {exc}"
+        conflicts = context.all_conflicts()
+        if conflicts:
+            return False, str(conflicts[0])
+        blocked = clock_blocking_reason(context)
+        if blocked:
+            return False, blocked
     return True, ""
 
 
@@ -176,6 +186,7 @@ def build_mergeability_graph(netlist: Netlist, modes: Sequence[Mode],
     start = time.perf_counter()
     tracer = get_tracer()
     metrics = get_metrics()
+    ledger = get_decisions()
     graph = nx.Graph()
     reasons: Dict[FrozenSet[str], str] = {}
     for mode in modes:
@@ -185,7 +196,10 @@ def build_mergeability_graph(netlist: Netlist, modes: Sequence[Mode],
              for j in range(i + 1, len(mode_list))]
 
     with tracer.span("mergeability", modes=[m.name for m in mode_list],
-                     pairs=len(pairs), jobs=jobs):
+                     pairs=len(pairs), jobs=jobs), \
+            ledger.frame("mergeability.scan",
+                         f"scan:{len(mode_list)} modes",
+                         modes=[m.name for m in mode_list]):
         results = None
         if jobs > 1 and len(pairs) > 1:
             import multiprocessing as mp
@@ -209,13 +223,31 @@ def build_mergeability_graph(netlist: Netlist, modes: Sequence[Mode],
                 results.append((i, j, ok, reason))
 
         for i, j, ok, reason in results:
+            name_i, name_j = mode_list[i].name, mode_list[j].name
             if ok:
-                graph.add_edge(mode_list[i].name, mode_list[j].name)
+                graph.add_edge(name_i, name_j)
             else:
-                reasons[frozenset((mode_list[i].name,
-                                   mode_list[j].name))] = reason
+                reasons[frozenset((name_i, name_j))] = reason
+            if ledger.enabled:
+                ledger.decide(
+                    "mergeability.pair", pair_subject(name_i, name_j),
+                    verdict="mergeable" if ok else "rejected",
+                    evidence=[reason] if reason else [],
+                    modes=[name_i, name_j])
         with tracer.span("clique_cover"):
             groups = greedy_clique_cover(graph)
+        if ledger.enabled:
+            for group in groups:
+                members = list(group)
+                edges = sum(
+                    1 for a in members for b in members
+                    if a < b and graph.has_edge(a, b))
+                ledger.decide(
+                    "mergeability.group", group_subject(members),
+                    verdict="assigned",
+                    evidence=[f"clique of {len(members)} mode(s) with "
+                              f"{edges} mergeable pair(s)"],
+                    modes=members)
         metrics.inc("mergeability.pairs_checked", len(pairs))
         metrics.inc("mergeability.pairs_mergeable",
                     graph.number_of_edges())
@@ -284,6 +316,10 @@ class MergingRun:
     runtime_seconds: float = 0.0
     #: structured findings recorded while running under a recovery policy
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: the run's slice of the ambient decision ledger (empty unless a
+    #: :class:`~repro.obs.explain.DecisionLedger` was installed); query
+    #: with :func:`repro.obs.explain.explain`
+    decision_records: List = field(default_factory=list)
 
     @property
     def failed_outcomes(self) -> List[GroupOutcome]:
@@ -348,7 +384,19 @@ class MergingRun:
                 "|".join(sorted(pair)): reason
                 for pair, reason in self.analysis.reasons.items()
             },
+            "decisions": [d.to_dict() for d in self.decision_records],
         }
+
+    def explain(self, query: str):
+        """Causal chains for the run's decisions matching ``query``.
+
+        Convenience wrapper over :func:`repro.obs.explain.explain`;
+        empty unless the run executed under an installed
+        :class:`~repro.obs.explain.DecisionLedger`.
+        """
+        from repro.obs.explain import explain as _explain
+
+        return _explain(self.decision_records, query)
 
     def summary(self) -> str:
         lines = [self.analysis.summary()]
@@ -407,6 +455,10 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
     policy = DegradationPolicy.coerce(opts.policy)
     sink = collector if collector is not None else DiagnosticCollector()
     first_diag = len(sink)
+    ledger = get_decisions()
+    # Mark before the analysis: pair/group verdicts recorded inside
+    # build_mergeability_graph belong to this run's decision slice.
+    first_dec = len(ledger.records) if ledger.enabled else 0
     start = time.perf_counter()
     if analysis is None:
         analysis = build_mergeability_graph(netlist, modes, opts)
@@ -491,6 +543,11 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
                 f"{budget_exc.kind} budget ({budget_exc}); keeping its "
                 f"modes individual",
                 severity=Severity.WARNING, source="+".join(names))
+            ledger.decide(
+                "merge.budget", group_subject(names),
+                verdict="degraded",
+                evidence=[f"{budget_exc.kind} budget exceeded: {budget_exc}"],
+                modes=names, budget_kind=budget_exc.kind)
             for name in names:
                 merge_group([name])
             return
@@ -505,6 +562,12 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
                 f"mode {culprit!r} demoted from group "
                 f"{{{', '.join(names)}}}: {reason}",
                 severity=Severity.WARNING, source=culprit)
+            ledger.decide(
+                "merge.demotion", f"mode:{culprit}",
+                verdict="demoted",
+                evidence=[f"group without {culprit!r} merges cleanly",
+                          reason],
+                modes=names, culprit=culprit)
             merge_group(survivors)
             merge_group([culprit])
             return
@@ -525,7 +588,9 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
         for group in analysis.groups:
             names = list(group)
             group_hash = ""
-            with tracer.span(f"group:{'+'.join(names)}", modes=names):
+            with tracer.span(f"group:{'+'.join(names)}", modes=names), \
+                    ledger.frame("merge.group", group_subject(names),
+                                 modes=names):
                 if checkpoint is not None:
                     key = "+".join(names)
                     group_hash = checkpoint.group_hash(
@@ -544,6 +609,12 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
                             f"group {{{', '.join(names)}}} restored from "
                             f"checkpoint",
                             severity=Severity.INFO, source=key)
+                        ledger.decide(
+                            "checkpoint.restore", group_subject(names),
+                            verdict="restored",
+                            evidence=[f"content hash {group_hash[:12]} "
+                                      f"matched checkpoint"],
+                            modes=names)
                         if tracer.enabled:
                             tracer.annotate(restored=True)
                         continue
@@ -564,4 +635,6 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
                               round(run.reduction_percent, 3))
     run.runtime_seconds = time.perf_counter() - start
     run.diagnostics = list(sink.diagnostics[first_diag:])
+    if ledger.enabled:
+        run.decision_records = list(ledger.records[first_dec:])
     return run

@@ -33,6 +33,7 @@ from repro.core.watchdog import WatchdogBudget
 from repro.diagnostics import DegradationPolicy
 from repro.errors import MergeStepError, RefinementError
 from repro.netlist.netlist import Netlist
+from repro.obs.explain import get_decisions, group_subject
 from repro.obs.metrics import get_metrics
 from repro.obs.provenance import RULE_UNION
 from repro.obs.trace import get_tracer
@@ -165,6 +166,7 @@ def merge_modes(netlist: Netlist, modes: Sequence[Mode],
     mode_names = [m.name for m in modes]
     tracer = get_tracer()
     metrics = get_metrics()
+    ledger = get_decisions()
 
     def step(step_name, fn, *args):
         """Run one pipeline stage with per-step fault isolation.
@@ -176,7 +178,9 @@ def merge_modes(netlist: Netlist, modes: Sequence[Mode],
         stage runs under a ``step:<name>`` span carrying the constraint
         count so far and the watchdog budget remaining.
         """
-        with tracer.span(f"step:{step_name}") as span:
+        with tracer.span(f"step:{step_name}") as span, \
+                ledger.frame("merge.step", f"step:{step_name}",
+                             modes=mode_names):
             if tracer.enabled:
                 attrs = {"constraints_before": len(context.merged)}
                 if budget is not None:
@@ -203,7 +207,10 @@ def merge_modes(netlist: Netlist, modes: Sequence[Mode],
     metrics.inc("merge.runs")
 
     with tracer.span("merge", merged_mode=context.merged_name,
-                     modes=mode_names):
+                     modes=mode_names), \
+            ledger.frame("merge.mode", group_subject(mode_names),
+                         modes=mode_names,
+                         merged_mode=context.merged_name) as mframe:
         # --- preliminary mode merging (3.1) ---
         step("clock_union", merge_clocks, context)
         step("clock_constraints", merge_clock_constraints, context,
@@ -258,6 +265,11 @@ def merge_modes(netlist: Netlist, modes: Sequence[Mode],
                             ok=result.ok,
                             runtime_ms=round(result.runtime_seconds * 1e3,
                                              3))
+        if ledger.enabled:
+            mframe.verdict = "merged" if result.ok else "incomplete"
+            mframe.evidence.append(
+                f"{len(context.merged)} constraints from "
+                f"{len(mode_names)} mode(s)")
     if opts.strict and not result.ok:
         problems = outcome.residuals + result.validation_mismatches
         raise RefinementError(

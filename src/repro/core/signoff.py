@@ -36,6 +36,7 @@ from repro.core.equivalence import check_mode_equivalence
 from repro.core.exceptions_merge import uniquify_exception
 from repro.core.merger import MergeOptions, MergeResult, merge_modes
 from repro.diagnostics import DiagnosticCollector, Severity
+from repro.obs.explain import get_decisions, group_subject
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 from repro.netlist.netlist import Netlist
@@ -333,9 +334,14 @@ class SignoffGuard:
             f"(first: {problems[0] if problems else 'unknown'})",
             severity=Severity.WARNING, source="+".join(names))
         attempts_before = self.attempts
+        ledger = get_decisions()
         try:
             with tracer.span("signoff:guard", modes=list(names),
-                             mismatches=len(problems)) as guard_span:
+                             mismatches=len(problems)) as guard_span, \
+                    ledger.frame(
+                        "signoff.guard", group_subject(names),
+                        modes=list(names),
+                        mismatches=len(problems)) as guard_frame:
                 with tracer.span("signoff:bisect", modes=list(names)) as span:
                     subset = self._localize_modes(list(names))
                     span.annotate(culprit_modes=list(subset))
@@ -362,11 +368,16 @@ class SignoffGuard:
                             names, mode_name, culprits)
                     if repaired is not None:
                         guard_span.annotate(outcome="repaired")
+                        if ledger.enabled:
+                            guard_frame.verdict = "repaired"
                         return repaired
                 with tracer.span("signoff:repair", modes=list(subset)):
                     outcomes = self._demote(names, subset)
-                guard_span.annotate(
-                    outcome="demoted" if outcomes is not None else "gave-up")
+                outcome_label = \
+                    "demoted" if outcomes is not None else "gave-up"
+                guard_span.annotate(outcome=outcome_label)
+                if ledger.enabled:
+                    guard_frame.verdict = outcome_label
                 return outcomes
         except _AttemptsExhausted:
             self.sink.report(

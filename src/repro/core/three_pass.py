@@ -32,6 +32,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.steps import MergeContext, StepReport
 from repro.core.watchdog import WatchdogBudget
+from repro.obs.explain import get_decisions
 from repro.obs.metrics import get_metrics
 from repro.obs.provenance import RULE_DERIVED
 from repro.obs.trace import get_tracer
@@ -554,6 +555,7 @@ class ThreePassRefiner:
                 return True
             if self._validate(target, rows, matcher):
                 target_label = target.label() if target is not None else "-"
+                ledger = get_decisions()
                 for fix in fixes:
                     self.context.merged.add(fix)
                     self.outcome.added.append(fix)
@@ -562,6 +564,18 @@ class ThreePassRefiner:
                         list(self.context.mode_names()), step="three_pass",
                         detail=f"fix restoring individual requirement "
                                f"{target_label}")
+                    if ledger.enabled:
+                        from repro.sdc.writer import write_constraint
+
+                        ledger.decide(
+                            "refinement.fix",
+                            f"constraint:{write_constraint(fix)}",
+                            verdict="synthesized",
+                            evidence=[f"restores individual requirement "
+                                      f"{target_label}",
+                                      f"merged bundle was "
+                                      f"{states_label(merged)}"],
+                            modes=list(self.context.mode_names()))
                 return True
         return False
 
@@ -742,4 +756,13 @@ def run_three_pass(context: MergeContext, max_iterations: int = 8,
     metrics.inc("three_pass.iterations", outcome.iterations)
     metrics.inc("three_pass.fixes", len(outcome.added))
     metrics.inc("three_pass.residuals", len(outcome.residuals))
+    ledger = get_decisions()
+    if ledger.enabled:
+        for residual in outcome.residuals:
+            ledger.decide(
+                "refinement.residual", f"residual:{residual}",
+                verdict="unresolved",
+                evidence=[f"after {outcome.iterations} iteration(s) with "
+                          f"{len(outcome.added)} fix(es)"],
+                modes=list(context.mode_names()))
     return report, outcome

@@ -266,6 +266,31 @@ class DiagnosticCollector:
         from repro.obs.metrics import get_metrics
 
         get_metrics().inc("diagnostics.emitted")
+        # Bridge into the other observability layers: an event on the
+        # current trace span (diagnostics show inline in Chrome/Perfetto)
+        # and a decision node in the explain ledger (diagnostics join the
+        # causal chain of whatever frame emitted them).  Both are no-ops
+        # unless a collector is installed.
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(f"diagnostic:{diagnostic.code}",
+                         code=diagnostic.code,
+                         severity=diagnostic.severity.value,
+                         source=diagnostic.source,
+                         message=diagnostic.message)
+        from repro.obs.explain import get_decisions
+
+        ledger = get_decisions()
+        if ledger.enabled:
+            evidence = [diagnostic.message]
+            if diagnostic.hint:
+                evidence.append(f"hint: {diagnostic.hint}")
+            ledger.decide("diagnostic", f"code:{diagnostic.code}",
+                          verdict=diagnostic.severity.value,
+                          evidence=evidence, source=diagnostic.source,
+                          details=dict(diagnostic.details))
         return diagnostic
 
     def report(self, code: str, message: str,

@@ -1,18 +1,44 @@
-"""Observability for the merge pipeline: tracing, metrics, provenance.
+"""Observability for the merge pipeline: tracing, metrics, provenance,
+and the explain decision ledger.
 
-Three layers, all free when disabled:
+Four layers, all free when disabled:
 
-* :mod:`repro.obs.trace` — hierarchical spans with wall-time and
-  attributes, exported as JSONL or Chrome ``trace_event``;
+* :mod:`repro.obs.trace` — hierarchical spans with wall-time,
+  attributes, and point-in-time events, exported as JSONL or Chrome
+  ``trace_event``;
 * :mod:`repro.obs.metrics` — counters/gauges/histograms under a
   stable-name contract, exported as JSON or Prometheus text;
 * :mod:`repro.obs.provenance` — per-constraint merge lineage (source
-  modes + merge rule), surfaced by ``repro report --provenance``.
+  modes + merge rule), surfaced by ``repro report --provenance``;
+* :mod:`repro.obs.explain` — the decision ledger: every pipeline
+  verdict (mergeability rejections, uniquifications, refinement stops,
+  sign-off repairs) recorded with its causal chain, queryable via
+  ``explain(run, "pair:funcA,scan")`` / ``repro-merge explain``.
+
+:mod:`repro.obs.report_html` stitches all four into a self-contained
+HTML run report, :mod:`repro.obs.bench_diff` compares two benchmark
+snapshots, and :mod:`repro.obs.validate` schema-checks every artifact.
 
 See docs/OBSERVABILITY.md for the span taxonomy, the metric name
-contract, and the provenance record schema.
+contract, the provenance record schema, and the decision-node schema.
 """
 
+from repro.obs.explain import (
+    DECISION_KINDS,
+    DECISIONS_SCHEMA_VERSION,
+    Decision,
+    DecisionLedger,
+    NullDecisions,
+    explain,
+    explaining,
+    find_decisions,
+    format_chains,
+    get_decisions,
+    group_subject,
+    muted,
+    pair_subject,
+    set_decisions,
+)
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     METRIC_CONTRACT,
@@ -35,6 +61,11 @@ from repro.obs.provenance import (
     ProvenanceLedger,
     ProvenanceRecord,
 )
+from repro.obs.report_html import (
+    REPORT_HTML_SCHEMA_VERSION,
+    render_run_report,
+    write_run_report,
+)
 from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
     NullTracer,
@@ -47,15 +78,21 @@ from repro.obs.trace import (
 
 __all__ = [
     "COUNT_BUCKETS",
+    "DECISION_KINDS",
+    "DECISIONS_SCHEMA_VERSION",
+    "Decision",
+    "DecisionLedger",
     "MERGE_RULES",
     "METRIC_CONTRACT",
     "METRICS_SCHEMA_VERSION",
     "MetricsRegistry",
+    "NullDecisions",
     "NullMetrics",
     "NullTracer",
     "PROVENANCE_SCHEMA_VERSION",
     "ProvenanceLedger",
     "ProvenanceRecord",
+    "REPORT_HTML_SCHEMA_VERSION",
     "RULE_DERIVED",
     "RULE_INTERSECTION",
     "RULE_TOLERANCE",
@@ -66,9 +103,20 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "Tracer",
     "collecting",
+    "explain",
+    "explaining",
+    "find_decisions",
+    "format_chains",
+    "get_decisions",
     "get_metrics",
     "get_tracer",
+    "group_subject",
+    "muted",
+    "pair_subject",
+    "render_run_report",
+    "set_decisions",
     "set_metrics",
     "set_tracer",
     "tracing",
+    "write_run_report",
 ]

@@ -45,7 +45,8 @@ TRACE_SCHEMA_VERSION = 1
 class Span:
     """One timed region of the pipeline, with attributes and children."""
 
-    __slots__ = ("name", "start", "end", "attrs", "children", "parent")
+    __slots__ = ("name", "start", "end", "attrs", "children", "parent",
+                 "events")
 
     def __init__(self, name: str, start: float,
                  parent: Optional["Span"] = None,
@@ -56,6 +57,9 @@ class Span:
         self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
         self.children: List[Span] = []
         self.parent = parent
+        #: point-in-time markers inside this span (diagnostics, findings);
+        #: each is ``{"name": ..., "ts": seconds, "attrs": {...}}``
+        self.events: List[Dict[str, Any]] = []
 
     @property
     def duration(self) -> float:
@@ -142,6 +146,9 @@ class NullTracer:
     def annotate(self, **attrs: Any) -> None:
         return None
 
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
     @property
     def current(self) -> None:
         return None
@@ -197,6 +204,20 @@ class Tracer(NullTracer):
         if self._stack:
             self._stack[-1].attrs.update(attrs)
 
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time marker on the innermost open span.
+
+        Diagnostics use this to appear inline in Chrome/Perfetto traces
+        (``[SDC002]`` next to the parse span that hit it).  Dropped when
+        no span is open — events always belong to a region of the run.
+        """
+        if self._stack:
+            self._stack[-1].events.append({
+                "name": name,
+                "ts": time.perf_counter() - self._t0,
+                "attrs": dict(attrs),
+            })
+
     # -- queries --------------------------------------------------------
     def walk(self) -> Iterator[tuple]:
         for root in self.roots:
@@ -217,14 +238,21 @@ class Tracer(NullTracer):
             "epoch": self.epoch,
         })]
         for span, depth in self.walk():
-            lines.append(json.dumps({
+            record = {
                 "name": span.name,
                 "start_s": round(span.start, 9),
                 "dur_s": round(span.duration, 9),
                 "depth": depth,
                 "parent": span.parent.name if span.parent else None,
                 "attrs": _jsonable(span.attrs),
-            }))
+            }
+            if span.events:
+                record["events"] = [{
+                    "name": event["name"],
+                    "ts_s": round(event["ts"], 9),
+                    "attrs": _jsonable(event["attrs"]),
+                } for event in span.events]
+            lines.append(json.dumps(record))
         return "\n".join(lines) + "\n"
 
     def to_chrome(self) -> str:
@@ -242,6 +270,17 @@ class Tracer(NullTracer):
                 "tid": 0,
                 "args": _jsonable(span.attrs),
             })
+            for marker in span.events:
+                events.append({
+                    "name": marker["name"],
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": round(marker["ts"] * 1e6, 3),
+                    "pid": pid,
+                    "tid": 0,
+                    "args": _jsonable(marker["attrs"]),
+                })
         return json.dumps({"traceEvents": events,
                            "displayTimeUnit": "ms"}, indent=1) + "\n"
 

@@ -8,7 +8,8 @@ documented layouts (docs/OBSERVABILITY.md).
 
 Usable as a module::
 
-    python -m repro.obs.validate --trace t.json --metrics m.json
+    python -m repro.obs.validate --trace t.json --metrics m.json \
+        --explain d.json --html report.html
 """
 
 from __future__ import annotations
@@ -17,7 +18,9 @@ import json
 import sys
 from typing import List
 
+from repro.obs.explain import DECISION_KINDS, DECISIONS_SCHEMA_VERSION
 from repro.obs.metrics import METRIC_CONTRACT, METRICS_SCHEMA_VERSION
+from repro.obs.report_html import HTML_REPORT_MARKER
 from repro.obs.trace import TRACE_SCHEMA_VERSION
 
 
@@ -69,12 +72,17 @@ def validate_trace_chrome(text: str) -> List[str]:
     if not events:
         problems.append("traceEvents is empty")
     for i, event in enumerate(events):
-        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+        ph = event.get("ph")
+        # "X" complete events carry a duration; "i" instant events (span
+        # markers such as bridged diagnostics) are points in time.
+        required = ("name", "ph", "ts", "pid", "tid") if ph == "i" \
+            else ("name", "ph", "ts", "dur", "pid", "tid")
+        for key in required:
             if key not in event:
                 problems.append(f"event {i} missing {key!r}")
-        if event.get("ph") != "X":
-            problems.append(f"event {i} ph is {event.get('ph')!r}, "
-                            f"expected 'X' (complete event)")
+        if ph not in ("X", "i"):
+            problems.append(f"event {i} ph is {ph!r}, expected 'X' "
+                            f"(complete) or 'i' (instant)")
     return problems
 
 
@@ -136,21 +144,106 @@ def validate_metrics(text: str) -> List[str]:
     return problems
 
 
+def validate_decisions(text: str) -> List[str]:
+    """Problems with a decisions JSON artifact (``--explain out.json``)."""
+    try:
+        record = json.loads(text)
+    except ValueError as exc:
+        return [f"not JSON: {exc}"]
+    problems: List[str] = []
+    if record.get("kind") != "repro-decisions":
+        problems.append(f"kind is {record.get('kind')!r}, "
+                        f"expected 'repro-decisions'")
+    if record.get("schema_version") != DECISIONS_SCHEMA_VERSION:
+        problems.append(f"schema_version is "
+                        f"{record.get('schema_version')!r}, expected "
+                        f"{DECISIONS_SCHEMA_VERSION}")
+    decisions = record.get("decisions")
+    if not isinstance(decisions, list):
+        return problems + ["decisions is missing or not a list"]
+    ids = set()
+    for i, decision in enumerate(decisions):
+        if not isinstance(decision, dict):
+            problems.append(f"decision {i} is not an object")
+            continue
+        for key in ("id", "kind", "subject", "verdict", "evidence",
+                    "parent", "span", "attrs"):
+            if key not in decision:
+                problems.append(f"decision {i} missing {key!r}")
+        kind = decision.get("kind")
+        if kind is not None and kind not in DECISION_KINDS:
+            problems.append(f"decision {i} kind {kind!r} is not in "
+                            f"DECISION_KINDS")
+        if not isinstance(decision.get("evidence", []), list):
+            problems.append(f"decision {i} evidence is not a list")
+        ids.add(decision.get("id"))
+        parent = decision.get("parent")
+        if parent is not None:
+            if parent not in ids:
+                problems.append(f"decision {i} parent {parent!r} does not "
+                                f"precede it (dangling or forward ref)")
+    return problems
+
+
+def validate_html(text: str) -> List[str]:
+    """Problems with a self-contained HTML run report.
+
+    The report must be a single file with no network fetches: any
+    ``http(s)://`` reference from a src/href attribute is an error.
+    """
+    problems: List[str] = []
+    if HTML_REPORT_MARKER not in text:
+        problems.append(f"missing {HTML_REPORT_MARKER!r} marker comment")
+    lowered = text.lower()
+    if "<html" not in lowered:
+        problems.append("missing <html> element")
+    for needle in ('src="http://', 'src="https://',
+                   'href="http://', 'href="https://',
+                   "src='http://", "src='https://",
+                   "href='http://", "href='https://",
+                   "@import url(http"):
+        if needle in lowered:
+            problems.append(f"network fetch {needle!r} found: the report "
+                            f"must be self-contained")
+    start = text.find("<script type=\"application/json\"")
+    if start == -1:
+        problems.append("missing embedded JSON payload "
+                        "(<script type=\"application/json\">)")
+    else:
+        end = text.find("</script>", start)
+        payload = text[text.find(">", start) + 1:end]
+        try:
+            record = json.loads(payload)
+        except ValueError as exc:
+            problems.append(f"embedded JSON payload is not JSON: {exc}")
+        else:
+            if record.get("kind") != "repro-run-report":
+                problems.append(
+                    f"payload kind is {record.get('kind')!r}, "
+                    f"expected 'repro-run-report'")
+    return problems
+
+
 def main(argv=None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.validate",
-        description="Validate repro trace/metrics artifacts.")
+        description="Validate repro observability artifacts.")
     parser.add_argument("--trace", help="trace file (jsonl or chrome)")
     parser.add_argument("--metrics", help="metrics JSON file")
+    parser.add_argument("--explain", help="decisions JSON file")
+    parser.add_argument("--html", help="self-contained HTML run report")
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics:
-        parser.error("nothing to validate: pass --trace and/or --metrics")
+    if not any((args.trace, args.metrics, args.explain, args.html)):
+        parser.error("nothing to validate: pass --trace, --metrics, "
+                     "--explain and/or --html")
 
     failed = False
     for label, path, check in (("trace", args.trace, validate_trace),
-                               ("metrics", args.metrics, validate_metrics)):
+                               ("metrics", args.metrics, validate_metrics),
+                               ("explain", args.explain, validate_decisions),
+                               ("html", args.html, validate_html)):
         if not path:
             continue
         with open(path) as handle:

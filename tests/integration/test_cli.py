@@ -340,3 +340,82 @@ class TestObservabilityFlags:
         out = capsys.readouterr().out
         assert "provenance" in out
         assert "<= " in out
+
+    def test_explain_artifact_validates(self, files, capsys):
+        from repro.obs.validate import validate_decisions
+
+        tmp, netlist, mode_a, mode_b = files
+        decisions = tmp / "decisions.json"
+        code = main(["--explain", str(decisions), "merge", str(netlist),
+                     str(mode_a), str(mode_b), "-o", str(tmp / "out")])
+        assert code == 0
+        text = decisions.read_text()
+        assert validate_decisions(text) == []
+        import json
+
+        record = json.loads(text)
+        kinds = record["by_kind"]
+        assert kinds.get("run") == 1
+        assert "mergeability.pair" in kinds
+        assert f"wrote {decisions}" in capsys.readouterr().out
+
+    def test_report_html_artifact_validates(self, files, capsys):
+        from repro.obs.validate import validate_html
+
+        tmp, netlist, mode_a, mode_b = files
+        report = tmp / "report.html"
+        code = main(["--report-html", str(report), "merge", str(netlist),
+                     str(mode_a), str(mode_b), "-o", str(tmp / "out")])
+        assert code == 0
+        text = report.read_text()
+        assert validate_html(text) == []
+        # --report-html force-enables the full stack even with no other
+        # observability flag: all sections present.
+        for heading in ("Run summary", "Trace", "Metrics",
+                        "Decision graph"):
+            assert f"<h2>{heading}</h2>" in text, heading
+        assert f"wrote {report}" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_explain_prints_causal_chain(self, files, capsys):
+        tmp, netlist, mode_a, mode_b = files
+        code = main(["explain", str(netlist), str(mode_a), str(mode_b),
+                     "--query", "pair:modeA,modeB"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "explain 'pair:modeA,modeB'" in out
+        assert "[mergeability.pair] pair:modeA,modeB" in out
+        assert "-> mergeable" in out
+
+    def test_explain_kind_query_nests_under_frames(self, files, capsys):
+        tmp, netlist, mode_a, mode_b = files
+        code = main(["explain", str(netlist), str(mode_a), str(mode_b),
+                     "--query", "kind:merge.mode"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[run]" in out
+        assert "[merge.group]" in out
+        assert "[merge.mode]" in out
+
+    def test_explain_multiple_queries(self, files, capsys):
+        tmp, netlist, mode_a, mode_b = files
+        code = main(["explain", str(netlist), str(mode_a), str(mode_b),
+                     "--query", "mode:modeA",
+                     "--query", "kind:merge.step"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("explain '") == 2
+
+    def test_unmatched_query_exits_one(self, files, capsys):
+        tmp, netlist, mode_a, mode_b = files
+        code = main(["explain", str(netlist), str(mode_a), str(mode_b),
+                     "--query", "pair:no,such"])
+        assert code == 1
+        assert "no matching decisions" in capsys.readouterr().out
+
+    def test_explain_requires_a_query(self, files):
+        tmp, netlist, mode_a, mode_b = files
+        with pytest.raises(SystemExit) as exc:
+            main(["explain", str(netlist), str(mode_a), str(mode_b)])
+        assert exc.value.code == 2

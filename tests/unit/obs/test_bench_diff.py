@@ -1,0 +1,136 @@
+"""Unit tests for the benchmark snapshot differ (repro.obs.bench_diff)."""
+
+import json
+
+from repro.obs.bench_diff import (
+    MetricDelta,
+    diff_bench,
+    main,
+    regression_direction,
+)
+
+
+def _snapshot(counters=None, gauges=None, histograms=None):
+    return {
+        "kind": "repro-metrics",
+        "schema_version": 1,
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": histograms or {},
+    }
+
+
+class TestRegressionDirection:
+    def test_timing_and_fault_metrics_regress_upward(self):
+        for name in ("bench.merge_seconds", "sta.runtime",
+                     "merge.diagnostics_total", "threepass.residuals",
+                     "case.conflicts", "exceptions.dropped"):
+            assert regression_direction(name) == 1, name
+
+    def test_neutral_metrics_never_regress(self):
+        for name in ("merge.reduction_percent", "merge.runs",
+                     "modes.merged"):
+            assert regression_direction(name) == 0, name
+
+
+class TestMetricDelta:
+    def test_percent(self):
+        assert MetricDelta("x", 10.0, 15.0).percent == 50.0
+        assert MetricDelta("x", 10.0, 5.0).percent == -50.0
+        assert MetricDelta("x", None, 5.0).percent is None
+        assert MetricDelta("x", 0.0, 5.0).percent == float("inf")
+        assert MetricDelta("x", 0.0, 0.0).percent is None
+
+    def test_is_regression_respects_direction_and_threshold(self):
+        worse = MetricDelta("bench.merge_seconds", 1.0, 1.5)
+        assert worse.is_regression(25.0)
+        assert not worse.is_regression(60.0)
+        # Improvements and neutral metrics never fail.
+        assert not MetricDelta("bench.merge_seconds", 1.5, 1.0) \
+            .is_regression(25.0)
+        assert not MetricDelta("merge.reduction_percent", 1.0, 100.0) \
+            .is_regression(25.0)
+
+    def test_format_added_removed_changed(self):
+        assert "added" in MetricDelta("x", None, 2.0).format()
+        assert "removed" in MetricDelta("x", 2.0, None).format()
+        assert "+50.0%" in MetricDelta("x", 2.0, 3.0).format()
+
+
+class TestDiffBench:
+    def test_flattens_all_sections(self):
+        old = _snapshot(counters={"merge.runs": 1},
+                        gauges={"merge.reduction_percent": 50.0},
+                        histograms={"sta.run_seconds":
+                                    {"count": 2, "sum": 1.0,
+                                     "buckets": [1], "counts": [2, 0]}})
+        new = _snapshot(counters={"merge.runs": 2},
+                        gauges={"merge.reduction_percent": 60.0},
+                        histograms={"sta.run_seconds":
+                                    {"count": 2, "sum": 2.0,
+                                     "buckets": [1], "counts": [2, 0]}})
+        names = {d.name for d in diff_bench(old, new)}
+        assert names == {"merge.runs", "merge.reduction_percent",
+                         "sta.run_seconds.count", "sta.run_seconds.sum"}
+
+    def test_sorted_by_magnitude(self):
+        old = _snapshot(gauges={"a": 100.0, "b": 100.0})
+        new = _snapshot(gauges={"a": 101.0, "b": 200.0})
+        deltas = diff_bench(old, new)
+        assert deltas[0].name == "b"
+
+    def test_one_sided_metrics_are_added_removed(self):
+        old = _snapshot(gauges={"gone": 1.0})
+        new = _snapshot(gauges={"fresh": 1.0})
+        by_name = {d.name: d for d in diff_bench(old, new)}
+        assert by_name["gone"].new is None
+        assert by_name["fresh"].old is None
+        assert not by_name["fresh"].is_regression(0.0)
+
+
+class TestMain:
+    def _write(self, path, record):
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    def test_identical_snapshots_exit_zero(self, tmp_path, capsys):
+        record = _snapshot(counters={"merge.runs": 1})
+        old = self._write(tmp_path / "old.json", record)
+        new = self._write(tmp_path / "new.json", record)
+        assert main([old, new]) == 0
+        assert "no metric changes" in capsys.readouterr().out
+
+    def test_regression_past_threshold_exits_one(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json",
+                          _snapshot(gauges={"bench.merge_seconds": 1.0}))
+        new = self._write(tmp_path / "new.json",
+                          _snapshot(gauges={"bench.merge_seconds": 2.0}))
+        assert main([old, new, "--threshold", "25"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "1 regression(s)" in out
+
+    def test_regression_within_threshold_exits_zero(self, tmp_path):
+        old = self._write(tmp_path / "old.json",
+                          _snapshot(gauges={"bench.merge_seconds": 1.0}))
+        new = self._write(tmp_path / "new.json",
+                          _snapshot(gauges={"bench.merge_seconds": 1.1}))
+        assert main([old, new, "--threshold", "25"]) == 0
+
+    def test_improvement_never_fails(self, tmp_path):
+        old = self._write(tmp_path / "old.json",
+                          _snapshot(gauges={"bench.merge_seconds": 2.0}))
+        new = self._write(tmp_path / "new.json",
+                          _snapshot(gauges={"bench.merge_seconds": 1.0}))
+        assert main([old, new, "--threshold", "0.1"]) == 0
+
+    def test_unreadable_input_exits_two(self, tmp_path, capsys):
+        good = self._write(tmp_path / "good.json", _snapshot())
+        assert main([str(tmp_path / "missing.json"), good]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_wrong_kind_exits_two(self, tmp_path, capsys):
+        good = self._write(tmp_path / "good.json", _snapshot())
+        bad = self._write(tmp_path / "bad.json", {"kind": "repro-trace"})
+        assert main([good, bad]) == 2
+        assert "expected 'repro-metrics'" in capsys.readouterr().err

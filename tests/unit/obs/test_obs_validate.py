@@ -6,6 +6,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.obs.validate import (
     main,
+    validate_decisions,
+    validate_html,
     validate_metrics,
     validate_trace,
     validate_trace_chrome,
@@ -104,4 +106,136 @@ class TestMain:
         bad = tmp_path / "bad.json"
         bad.write_text("{}")
         assert main(["--metrics", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestInstantEventValidation:
+    def _with_instant(self):
+        tracer = Tracer()
+        with tracer.span("merge"):
+            tracer.event("diagnostic:SDC002", code="SDC002")
+        return tracer.to_chrome()
+
+    def test_instant_events_accepted(self):
+        assert validate_trace_chrome(self._with_instant()) == []
+
+    def test_instant_event_needs_no_dur(self):
+        payload = json.loads(self._with_instant())
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert instants and all("dur" not in e for e in instants)
+
+    def test_instant_event_missing_ts_rejected(self):
+        payload = json.loads(self._with_instant())
+        instant = next(e for e in payload["traceEvents"] if e["ph"] == "i")
+        del instant["ts"]
+        problems = validate_trace_chrome(json.dumps(payload))
+        assert any("missing 'ts'" in p for p in problems)
+
+
+class TestDecisionsValidation:
+    def _valid(self):
+        from repro.obs.explain import DecisionLedger
+
+        ledger = DecisionLedger()
+        with ledger.frame("run", "run:merge"):
+            ledger.decide("mergeability.pair", "pair:A,B",
+                          verdict="rejected", evidence=["reason"])
+        return ledger.to_json()
+
+    def test_valid_ledger_export(self):
+        assert validate_decisions(self._valid()) == []
+
+    def test_wrong_kind_rejected(self):
+        payload = json.loads(self._valid())
+        payload["kind"] = "nope"
+        problems = validate_decisions(json.dumps(payload))
+        assert any("expected 'repro-decisions'" in p for p in problems)
+
+    def test_undeclared_decision_kind_rejected(self):
+        payload = json.loads(self._valid())
+        payload["decisions"][0]["kind"] = "made.up"
+        problems = validate_decisions(json.dumps(payload))
+        assert any("not in" in p and "DECISION_KINDS" in p
+                   for p in problems)
+
+    def test_forward_parent_reference_rejected(self):
+        payload = json.loads(self._valid())
+        payload["decisions"][0]["parent"] = 99
+        problems = validate_decisions(json.dumps(payload))
+        assert any("does not precede" in p for p in problems)
+
+    def test_missing_field_rejected(self):
+        payload = json.loads(self._valid())
+        del payload["decisions"][1]["evidence"]
+        problems = validate_decisions(json.dumps(payload))
+        assert any("missing 'evidence'" in p for p in problems)
+
+    def test_not_json(self):
+        assert validate_decisions("not-json")[0].startswith("not JSON")
+
+
+class TestHtmlValidation:
+    def _valid(self):
+        from repro.obs.report_html import render_run_report
+
+        return render_run_report(title="t")
+
+    def test_valid_report(self):
+        assert validate_html(self._valid()) == []
+
+    def test_missing_marker_rejected(self):
+        text = self._valid().replace("repro-run-report schema", "x schema")
+        problems = validate_html(text)
+        assert any("marker" in p for p in problems)
+
+    def test_network_fetch_rejected(self):
+        text = self._valid().replace(
+            "<body>", '<body><script src="https://evil.example/x.js">'
+            "</script>")
+        problems = validate_html(text)
+        assert any("self-contained" in p for p in problems)
+
+    def test_missing_payload_rejected(self):
+        text = self._valid().replace('<script type="application/json"',
+                                     '<script type="text/plain"')
+        problems = validate_html(text)
+        assert any("embedded JSON payload" in p for p in problems)
+
+    def test_wrong_payload_kind_rejected(self):
+        text = self._valid().replace('"kind": "repro-run-report"',
+                                     '"kind": "nope"')
+        # render uses compact separators; cover both spellings.
+        text = text.replace('"kind":"repro-run-report"', '"kind":"nope"')
+        problems = validate_html(text)
+        assert any("repro-run-report" in p for p in problems)
+
+
+class TestMainAllArtifacts:
+    def test_all_four_ok_exit_zero(self, tmp_path, capsys):
+        from repro.obs.explain import DecisionLedger
+        from repro.obs.report_html import write_run_report
+
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        decisions = tmp_path / "d.json"
+        html = tmp_path / "r.html"
+        _traced().write(trace)
+        registry = MetricsRegistry()
+        registry.inc("merge.runs")
+        registry.write(metrics)
+        ledger = DecisionLedger()
+        ledger.decide("run", "run:merge")
+        ledger.write(decisions)
+        write_run_report(html, tracer=_traced(), metrics=registry,
+                         decisions=ledger)
+        code = main(["--trace", str(trace), "--metrics", str(metrics),
+                     "--explain", str(decisions), "--html", str(html)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count(": ok") == 4
+
+    def test_invalid_html_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "r.html"
+        bad.write_text("<p>not a report</p>")
+        assert main(["--html", str(bad)]) == 1
         assert "INVALID" in capsys.readouterr().err

@@ -113,3 +113,72 @@ class TestEndToEnd:
             assert record.rule in MERGE_RULES
             assert record.source_modes or record.rule == RULE_DERIVED
         assert "provenance" in result.to_dict()
+
+
+class TestBackfillSafetyNet:
+    """merger.py backfills lineage for any constraint a step forgot."""
+
+    def test_untracked_step_output_gets_backfilled(self, pipeline_netlist,
+                                                   monkeypatch):
+        from repro.core import merge_modes
+        from repro.core.merger import MergeOptions
+        import repro.core.merger as merger
+        from repro.sdc import parse_mode
+        from repro.sdc.commands import ObjectRef, SetCaseAnalysis
+
+        sneaky = SetCaseAnalysis(value=0, objects=ObjectRef.ports("in2"))
+        real = merger.merge_exceptions
+
+        def forgetful(context):
+            out = real(context)
+            # A buggy step adds to merged without recording provenance.
+            context.merged.add(sneaky)
+            return out
+
+        monkeypatch.setattr("repro.core.merger.merge_exceptions", forgetful)
+        mode = "create_clock -name c -period 10 [get_ports clk]\n"
+        result = merge_modes(pipeline_netlist,
+                             [parse_mode(mode, "A"), parse_mode(mode, "B")],
+                             options=MergeOptions(validate=False))
+        record = result.context.provenance.lookup(sneaky)
+        assert record is not None
+        assert record.detail == "lineage backfilled"
+        assert record.source_modes == ["A", "B"]
+
+
+class TestUnanalyzedPairReason:
+    """reason() is total: unanalyzed pairs answer "" and survive export."""
+
+    def test_reason_empty_for_unanalyzed_and_unknown_pairs(
+            self, pipeline_netlist):
+        from repro.core import merge_all
+        from repro.sdc import parse_mode
+
+        mode = "create_clock -name c -period 10 [get_ports clk]\n"
+        modes = [parse_mode(mode, "A"), parse_mode(mode, "B")]
+        run = merge_all(pipeline_netlist, modes)
+        # A mergeable pair has no rejection reason...
+        assert run.analysis.mergeable("A", "B")
+        assert run.analysis.reason("A", "B") == ""
+        # ...and a pair the scan never saw answers "" too, not KeyError.
+        assert run.analysis.reason("A", "nonexistent") == ""
+        assert run.analysis.reason("x", "y") == ""
+
+    def test_reasons_round_trip_through_run_to_dict(self, pipeline_netlist):
+        import json
+
+        from repro.core import merge_all
+        from repro.sdc import parse_mode
+
+        clock_a = "create_clock -name c -period 10 [get_ports clk]\n"
+        conflict = clock_a + "set_case_analysis 0 [get_ports in2]\n"
+        other = clock_a + "set_case_analysis 1 [get_ports in2]\n"
+        run = merge_all(pipeline_netlist, [parse_mode(conflict, "A"),
+                                           parse_mode(other, "B")])
+        payload = json.loads(json.dumps(run.to_dict()))
+        reasons = payload["non_mergeable_reasons"]
+        if run.analysis.mergeable("A", "B"):
+            assert reasons == {}
+        else:
+            assert reasons["A|B"] == run.analysis.reason("A", "B")
+            assert reasons["A|B"] != ""

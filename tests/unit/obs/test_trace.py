@@ -135,3 +135,81 @@ class TestAmbient:
         finally:
             assert set_tracer(previous) is tracer
         assert not get_tracer().enabled
+
+
+class TestSpanEvents:
+    def _traced_with_events(self):
+        tracer = Tracer()
+        with tracer.span("merge"):
+            tracer.event("diagnostic:SDC002", code="SDC002",
+                         severity="warning")
+            with tracer.span("step:exceptions"):
+                tracer.event("checkpoint", group="A+B")
+        return tracer
+
+    def test_event_attaches_to_innermost_open_span(self):
+        tracer = self._traced_with_events()
+        outer = tracer.find("merge")[0]
+        inner = tracer.find("step:exceptions")[0]
+        assert [e["name"] for e in outer.events] == ["diagnostic:SDC002"]
+        assert [e["name"] for e in inner.events] == ["checkpoint"]
+        assert outer.events[0]["attrs"]["code"] == "SDC002"
+
+    def test_event_outside_any_span_is_dropped(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        assert tracer.roots == []
+
+    def test_null_tracer_event_is_noop(self):
+        NullTracer().event("ignored", k="v")  # does not raise
+
+    def test_jsonl_export_carries_events(self):
+        lines = self._traced_with_events().to_jsonl().strip().splitlines()
+        rows = [json.loads(line) for line in lines[1:]]
+        merge_row = next(r for r in rows if r["name"] == "merge")
+        assert merge_row["events"][0]["name"] == "diagnostic:SDC002"
+        assert "ts_s" in merge_row["events"][0]
+
+    def test_chrome_export_emits_instant_events(self):
+        payload = json.loads(self._traced_with_events().to_chrome())
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert {e["name"] for e in instants} \
+            == {"diagnostic:SDC002", "checkpoint"}
+        for event in instants:
+            assert "dur" not in event
+            assert event["s"] == "t"
+            assert event["args"]
+
+
+class TestDiagnosticsBridge:
+    def test_recovery_parse_produces_span_events(self):
+        """Satellite: SDC diagnostics show inline in the trace."""
+        from repro.diagnostics import DegradationPolicy, DiagnosticCollector
+        from repro.sdc import parse_sdc
+
+        tracer = Tracer()
+        collector = DiagnosticCollector(DegradationPolicy.PERMISSIVE)
+        with tracing(tracer):
+            with tracer.span("parse:broken.sdc"):
+                result = parse_sdc(
+                    "create_clock -name CK -period 10 [get_ports clk]\n"
+                    "this_is_not_sdc !!!\n"
+                    "set_wire_load_model -name foo\n",
+                    "broken", policy=DegradationPolicy.PERMISSIVE,
+                    collector=collector)
+        assert not result.clean
+        span = tracer.find("parse:broken.sdc")[0]
+        codes = {e["attrs"]["code"] for e in span.events
+                 if e["name"].startswith("diagnostic:")}
+        assert codes, "recovery diagnostics must bridge into span events"
+        assert all(code.startswith("SDC") for code in codes)
+
+    def test_no_events_without_ambient_tracer(self):
+        from repro.diagnostics import DegradationPolicy, DiagnosticCollector
+        from repro.sdc import parse_sdc
+
+        collector = DiagnosticCollector(DegradationPolicy.PERMISSIVE)
+        result = parse_sdc("nonsense ???\n", "b",
+                           policy=DegradationPolicy.PERMISSIVE,
+                           collector=collector)
+        assert not result.clean  # diagnostics recorded, nothing bridged
