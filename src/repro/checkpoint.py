@@ -59,6 +59,36 @@ def netlist_fingerprint(netlist: Netlist) -> str:
     return content_hash(write_verilog(netlist))
 
 
+def serialize_outcome(outcome) -> dict:
+    """One ``GroupOutcome`` as a checkpoint-ready JSON entry.
+
+    Shared by :meth:`MergeCheckpoint.record` and the parallel execution
+    path, where forked workers serialize their outcomes before shipping
+    them over the result pipe (a ``MergeResult`` holds a full ``Mode``;
+    the SDC text + report record round-trip is the proven byte-identical
+    representation).
+    """
+    result = outcome.result
+    entry = {
+        "modes": list(outcome.mode_names),
+        "error": outcome.error,
+        "repaired": getattr(outcome, "repaired", False),
+        "result": None,
+    }
+    if result is not None:
+        entry["result"] = {
+            "name": result.merged.name,
+            "sdc": write_mode(result.merged),
+            "ok": result.ok,
+            "runtime_seconds": result.runtime_seconds,
+            "validated": result.validated,
+            "validation_mismatches":
+                list(result.validation_mismatches),
+            "dict": result.to_dict(),
+        }
+    return entry
+
+
 class RestoredMergeResult:
     """Duck-typed stand-in for a ``MergeResult`` loaded from a checkpoint.
 
@@ -184,31 +214,19 @@ class MergeCheckpoint:
     def record(self, key: str, group_hash: str, outcomes,
                diagnostics: Sequence[Diagnostic]) -> None:
         """Store the final outcomes one analysis group produced."""
-        stored = []
-        for outcome in outcomes:
-            result = outcome.result
-            entry = {
-                "modes": list(outcome.mode_names),
-                "error": outcome.error,
-                "repaired": getattr(outcome, "repaired", False),
-                "result": None,
-            }
-            if result is not None:
-                entry["result"] = {
-                    "name": result.merged.name,
-                    "sdc": write_mode(result.merged),
-                    "ok": result.ok,
-                    "runtime_seconds": result.runtime_seconds,
-                    "validated": result.validated,
-                    "validation_mismatches":
-                        list(result.validation_mismatches),
-                    "dict": result.to_dict(),
-                }
-            stored.append(entry)
+        self.record_serialized(
+            key, group_hash,
+            [serialize_outcome(outcome) for outcome in outcomes],
+            [d.to_dict() for d in diagnostics])
+
+    def record_serialized(self, key: str, group_hash: str,
+                          outcomes: Sequence[dict],
+                          diagnostics: Sequence[dict]) -> None:
+        """Store already-serialized outcomes (the parallel-worker path)."""
         self.groups[key] = {
             "hash": group_hash,
-            "outcomes": stored,
-            "diagnostics": [d.to_dict() for d in diagnostics],
+            "outcomes": list(outcomes),
+            "diagnostics": list(diagnostics),
         }
 
     def lookup(self, key: str, group_hash: str) -> Optional[dict]:
@@ -243,15 +261,5 @@ class MergeCheckpoint:
 
     @staticmethod
     def restore_diagnostics(entry: dict) -> List[Diagnostic]:
-        out: List[Diagnostic] = []
-        for record in entry.get("diagnostics", ()):
-            out.append(Diagnostic(
-                code=record["code"],
-                message=record["message"],
-                severity=Severity(record["severity"]),
-                source=record.get("source", ""),
-                line=record.get("line", 0),
-                hint=record.get("hint", ""),
-                details=record.get("details", {}),
-            ))
-        return out
+        return [Diagnostic.from_dict(record)
+                for record in entry.get("diagnostics", ())]

@@ -37,6 +37,13 @@ Chrome ``trace_event``), ``--metrics OUT`` writes the metrics registry
 ``merge/report --provenance`` prints each merged-mode constraint's
 lineage — which source modes and which merge rule produced it.
 
+``--jobs N`` distributes the mergeability scan and the per-group merges
+over the supervised execution engine (``repro.exec``): per-task
+deadlines, bounded retry, crash isolation, serial degradation — with
+results flushed in a deterministic order, so ``--jobs 4`` output is
+byte-identical to a serial run's.  ``jobs`` must be >= 1 (a bad value is
+an input error: usage message, exit 2, no traceback).
+
 ``--explain OUT.json`` records every pipeline decision (mergeability
 verdicts, case/exception merges, refinement stops, sign-off repairs)
 as a causal graph, ``--report-html OUT.html`` writes a self-contained
@@ -83,6 +90,19 @@ from repro.sdc import Mode, parse_mode, write_mode
 
 class _HardFailure(Exception):
     """Internal: abort the subcommand; diagnostics carry the details."""
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: an int >= 1, rejected tracebacklessly."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {value}")
+    return value
 
 
 def _read_text(path: str, collector: DiagnosticCollector) -> str:
@@ -156,7 +176,7 @@ def cmd_merge(args: argparse.Namespace, policy: DegradationPolicy,
             args.checkpoint, input_hash=content_hash(*texts),
             collector=collector)
     run = merge_all(netlist, modes, options, collector=collector,
-                    checkpoint=checkpoint)
+                    checkpoint=checkpoint, jobs=args.jobs)
     args._run = run  # for --report-html / --explain artifact writing
     print(format_merging_run(run))
     out_dir = Path(args.output)
@@ -224,7 +244,9 @@ def cmd_report(args: argparse.Namespace, policy: DegradationPolicy,
                collector: DiagnosticCollector) -> int:
     netlist = _load_netlist(args.netlist, args.liberty, collector)
     modes = _load_modes(args.sdc, policy, collector)
-    analysis = build_mergeability_graph(netlist, modes)
+    analysis = build_mergeability_graph(
+        netlist, modes, MergeOptions(policy=policy), jobs=args.jobs,
+        collector=collector)
     print(analysis.summary())
     for pair, reason in sorted(analysis.reasons.items(),
                                key=lambda kv: sorted(kv[0])):
@@ -258,7 +280,8 @@ def cmd_explain(args: argparse.Namespace, policy: DegradationPolicy,
     modes = _load_modes(args.sdc, policy, collector)
     options = MergeOptions(policy=policy,
                            signoff_guard=args.signoff_guard)
-    run = merge_all(netlist, modes, options, collector=collector)
+    run = merge_all(netlist, modes, options, collector=collector,
+                    jobs=args.jobs)
     args._run = run
     unmatched = 0
     for query in args.query:
@@ -300,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a self-contained HTML run report "
                              "(trace + metrics + provenance + diagnostics "
                              "+ decision graph) to this file")
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        metavar="N",
+                        help="worker processes for the mergeability scan "
+                             "and the per-group merges (default 1 = "
+                             "serial; parallel output is byte-identical "
+                             "to serial)")
     parser.add_argument("--liberty", default="",
                         help="Liberty (.lib) file defining the cell "
                              "library (default: the built-in generic "

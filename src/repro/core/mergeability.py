@@ -37,6 +37,7 @@ from repro.diagnostics import (
     Severity,
 )
 from repro.errors import BudgetExceededError, MergeStepError
+from repro.exec.supervisor import Supervisor, SupervisorConfig
 from repro.netlist.netlist import Netlist
 from repro.obs.explain import (
     get_decisions,
@@ -174,14 +175,47 @@ def _pool_check(pair):
     return i, j, ok, reason
 
 
+def _engine_config(options: MergeOptions, jobs: int,
+                   propagate: bool) -> SupervisorConfig:
+    """The supervisor tuning one mergeability/merge batch runs under.
+
+    The per-task deadline is ``exec_deadline_seconds`` when set;
+    otherwise it derives from the watchdog budget — a group merge is
+    bounded by ``budget_seconds``, so a pooled worker that has run for
+    twice that (plus slack) is hung, not slow.  With neither set, tasks
+    have no deadline (crash containment and retry still apply).
+    """
+    deadline = options.exec_deadline_seconds
+    if deadline is None and options.budget_seconds:
+        deadline = 2.0 * options.budget_seconds + 1.0
+    return SupervisorConfig(jobs=jobs, deadline_seconds=deadline,
+                            max_attempts=options.exec_max_attempts,
+                            propagate_errors=propagate)
+
+
+def _scan_payload_error(value) -> str:
+    """Reject malformed pairwise-scan results (corrupt-payload guard)."""
+    if (isinstance(value, tuple) and len(value) == 4
+            and isinstance(value[2], bool)):
+        return ""
+    return f"malformed scan payload {value!r}"
+
+
 def build_mergeability_graph(netlist: Netlist, modes: Sequence[Mode],
                              options: Optional[MergeOptions] = None,
-                             jobs: int = 1) -> MergeabilityAnalysis:
+                             jobs: int = 1,
+                             collector: Optional[DiagnosticCollector] = None
+                             ) -> MergeabilityAnalysis:
     """Pairwise mock merges -> mergeability graph -> greedy clique groups.
 
-    ``jobs > 1`` distributes the O(#modes^2) mock merges over worker
-    processes (the paper ran its engine on 4 cores); requires a fork-based
-    platform and falls back to serial elsewhere.
+    ``jobs > 1`` distributes the O(#modes^2) mock merges over the
+    supervised execution engine (the paper ran its engine on 4 cores):
+    a hung, crashed, or corrupted pair check is retried and, as a last
+    resort, the pair is conservatively recorded non-mergeable with an
+    ``EXE`` diagnostic — a pool failure can no longer crash the scan.
+    Falls back to serial on platforms without ``fork``.  Results are
+    flushed in submission order, so the graph (and everything downstream)
+    is identical at any job count.
     """
     start = time.perf_counter()
     tracer = get_tracer()
@@ -200,27 +234,30 @@ def build_mergeability_graph(netlist: Netlist, modes: Sequence[Mode],
             ledger.frame("mergeability.scan",
                          f"scan:{len(mode_list)} modes",
                          modes=[m.name for m in mode_list]):
-        results = None
-        if jobs > 1 and len(pairs) > 1:
-            import multiprocessing as mp
-
-            try:
-                context = mp.get_context("fork")
-            except ValueError:
-                context = None
-            if context is not None:
-                with context.Pool(jobs, initializer=_pool_init,
-                                  initargs=(netlist, mode_list,
-                                            options)) as pool:
-                    results = pool.map(
-                        _pool_check, pairs,
-                        chunksize=max(1, len(pairs) // (jobs * 4)))
-        if results is None:
-            results = []
-            for i, j in pairs:
-                ok, reason = pair_mergeable(netlist, mode_list[i],
-                                            mode_list[j], options)
-                results.append((i, j, ok, reason))
+        results = []
+        if pairs:
+            supervisor = Supervisor(
+                _engine_config(options or MergeOptions(), jobs,
+                               propagate=False),
+                collector=collector)
+            keys = ["scan:" + "+".join(sorted((mode_list[i].name,
+                                               mode_list[j].name)))
+                    for i, j in pairs]
+            outcomes = supervisor.run(
+                _pool_check, [(pair,) for pair in pairs], keys=keys,
+                validate=_scan_payload_error,
+                initializer=_pool_init,
+                initargs=(netlist, mode_list, options),
+                label="mergeability.scan")
+            for outcome, (i, j) in zip(outcomes, pairs):
+                if outcome.ok:
+                    results.append(tuple(outcome.value))
+                else:
+                    # An engine failure must never escape the scan: an
+                    # unanswerable pair is conservatively non-mergeable.
+                    results.append((i, j, False,
+                                    f"mergeability check failed: "
+                                    f"{outcome.error}"))
 
         for i, j, ok, reason in results:
             name_i, name_j = mode_list[i].name, mode_list[j].name
@@ -416,11 +453,196 @@ class MergingRun:
         return "\n".join(lines)
 
 
+# Worker state for parallel group merges (fork-inherited).
+_GROUP_STATE: dict = {}
+
+
+def _group_init(netlist, by_name, options) -> None:
+    _GROUP_STATE["netlist"] = netlist
+    _GROUP_STATE["by_name"] = by_name
+    _GROUP_STATE["options"] = options
+
+
+def _group_task(names):
+    """Merge one analysis group inside a forked worker.
+
+    The worker installs *fresh* observability collectors — the forked
+    copies of the parent's would die with the process — runs the same
+    :func:`run_merge_group` the serial path uses, and ships everything
+    back as plain JSON-ready data: serialized outcomes (the checkpoint
+    representation, whose SDC round-trip is proven byte-identical),
+    diagnostics, decision records and the metrics payload, for the
+    parent to graft into its own ambient stack.
+    """
+    from repro.checkpoint import serialize_outcome
+    from repro.obs.explain import DecisionLedger, explaining
+    from repro.obs.metrics import MetricsRegistry, collecting
+
+    ledger = DecisionLedger() if get_decisions().enabled else None
+    registry = MetricsRegistry() if get_metrics().enabled else None
+    sink = DiagnosticCollector()
+    with explaining(ledger), collecting(registry):
+        outcomes = run_merge_group(
+            _GROUP_STATE["netlist"], _GROUP_STATE["by_name"], list(names),
+            _GROUP_STATE["options"], sink)
+    return {
+        "outcomes": [serialize_outcome(o) for o in outcomes],
+        "diagnostics": [d.to_dict() for d in sink.diagnostics],
+        "decisions": [d.to_dict() for d in ledger.records]
+        if ledger is not None else [],
+        "metrics": registry.to_dict() if registry is not None else None,
+    }
+
+
+def _group_payload_error(value) -> str:
+    """Reject malformed worker bundles (corrupt-payload guard)."""
+    if isinstance(value, dict) and "outcomes" in value:
+        return ""
+    return f"malformed group-merge payload of type {type(value).__name__}"
+
+
+def _direct_payload_error(value) -> str:
+    if isinstance(value, list):
+        return ""
+    return f"malformed group-merge payload of type {type(value).__name__}"
+
+
+def run_merge_group(netlist: Netlist, by_name: Dict[str, Mode],
+                    names: List[str], options: MergeOptions,
+                    sink: DiagnosticCollector) -> List[GroupOutcome]:
+    """Merge one analysis group with the full recovery ladder.
+
+    This is the unit of work the execution engine schedules: it opens
+    the group's trace span and ``merge.group`` decision frame itself, so
+    a group merged in a forked worker records exactly the decision shape
+    a serially merged group does.  ``options`` is the already-coerced
+    per-group tunables (``strict=False``); the ladder is unchanged from
+    the historical in-line closures: merge -> sign-off guard -> demote
+    the single culprit -> degrade a budget-blown group whole -> bisect.
+    Every input mode ends in exactly one returned outcome.
+    """
+    policy = DegradationPolicy.coerce(options.policy)
+    ledger = get_decisions()
+    tracer = get_tracer()
+    outcomes: List[GroupOutcome] = []
+
+    def try_merge(group_names: List[str]) -> MergeResult:
+        group_modes = [by_name[n] for n in group_names]
+        name = group_names[0] if len(group_names) == 1 else None
+        return merge_modes(netlist, group_modes, name=name,
+                           options=options)
+
+    def guard_group(group_names: List[str], failed: MergeResult) -> bool:
+        """Sign-off guard hook; True when it produced final outcomes."""
+        from repro.core.signoff import SignoffGuard
+
+        guard = SignoffGuard(netlist, [by_name[n] for n in group_names],
+                             options, sink)
+        repaired = guard.repair_group(group_names, failed)
+        if repaired is None:
+            return False
+        for outcome in repaired:
+            outcomes.append(GroupOutcome(
+                outcome.mode_names, outcome.result, error=outcome.error,
+                repaired=outcome.repaired))
+        return True
+
+    def merge_group(group_names: List[str]) -> None:
+        try:
+            result = try_merge(group_names)
+        except Exception as exc:
+            if policy is DegradationPolicy.STRICT:
+                raise
+            recover_group(group_names, exc)
+            return
+        if len(group_names) == 1 or result.ok:
+            outcomes.append(GroupOutcome(group_names, result))
+            return
+        if options.signoff_guard and guard_group(group_names, result):
+            return
+        half = len(group_names) // 2
+        merge_group(group_names[:half])
+        merge_group(group_names[half:])
+
+    def budget_exceeded(exc: BaseException) -> Optional[BudgetExceededError]:
+        if isinstance(exc, BudgetExceededError):
+            return exc
+        if isinstance(exc, MergeStepError) \
+                and isinstance(exc.cause, BudgetExceededError):
+            return exc.cause
+        return None
+
+    def recover_group(group_names: List[str], exc: BaseException) -> None:
+        """Demote the offending mode(s) instead of aborting the run."""
+        reason = str(exc)
+        if len(group_names) == 1:
+            # An individual mode whose (re)construction fails: keep the
+            # failure as a structured outcome, never an exception.
+            sink.capture(exc, source=group_names[0])
+            outcomes.append(GroupOutcome(group_names, None, error=reason))
+            return
+        budget_exc = budget_exceeded(exc)
+        if budget_exc is not None:
+            # Retrying a budget-blown merge once per member would cost
+            # up to N more full budgets; degrade the group wholesale.
+            sink.report(
+                "SGN006",
+                f"group {{{', '.join(group_names)}}} exceeded its "
+                f"{budget_exc.kind} budget ({budget_exc}); keeping its "
+                f"modes individual",
+                severity=Severity.WARNING, source="+".join(group_names))
+            ledger.decide(
+                "merge.budget", group_subject(group_names),
+                verdict="degraded",
+                evidence=[f"{budget_exc.kind} budget exceeded: "
+                          f"{budget_exc}"],
+                modes=group_names, budget_kind=budget_exc.kind)
+            for name in group_names:
+                merge_group([name])
+            return
+        for i, culprit in enumerate(group_names):
+            survivors = group_names[:i] + group_names[i + 1:]
+            try:
+                try_merge(survivors)
+            except Exception:
+                continue
+            sink.report(
+                "MRG002",
+                f"mode {culprit!r} demoted from group "
+                f"{{{', '.join(group_names)}}}: {reason}",
+                severity=Severity.WARNING, source=culprit)
+            ledger.decide(
+                "merge.demotion", f"mode:{culprit}",
+                verdict="demoted",
+                evidence=[f"group without {culprit!r} merges cleanly",
+                          reason],
+                modes=group_names, culprit=culprit)
+            merge_group(survivors)
+            merge_group([culprit])
+            return
+        # No single demotion rescues the group: bisect.
+        sink.report(
+            "MRG001",
+            f"group {{{', '.join(group_names)}}} failed to merge "
+            f"({reason}); bisecting",
+            severity=Severity.WARNING)
+        half = len(group_names) // 2
+        merge_group(group_names[:half])
+        merge_group(group_names[half:])
+
+    with tracer.span(f"group:{'+'.join(names)}", modes=names), \
+            ledger.frame("merge.group", group_subject(names),
+                         modes=names):
+        merge_group(list(names))
+    return outcomes
+
+
 def merge_all(netlist: Netlist, modes: Sequence[Mode],
               options: Optional[MergeOptions] = None,
               analysis: Optional[MergeabilityAnalysis] = None,
               collector: Optional[DiagnosticCollector] = None,
-              checkpoint: Optional["MergeCheckpoint"] = None) -> MergingRun:
+              checkpoint: Optional["MergeCheckpoint"] = None,
+              jobs: int = 1) -> MergingRun:
     """The end-to-end flow: analyze mergeability, then merge every group.
 
     A group whose full merge fails (rare: pairwise mergeability is not
@@ -450,6 +672,18 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
     the run resumable: every completed analysis group is serialized
     immediately, and groups whose content hash still matches are
     replayed from the file instead of recomputed.
+
+    ``jobs > 1`` distributes the independent group merges (and, when the
+    analysis is built here, the pairwise scan) over the supervised
+    execution engine: per-task deadlines, bounded retry, crash isolation
+    and serial degradation, with results flushed strictly in analysis
+    order — a parallel run's outcomes, SDC output and decision ledger
+    are identical to a serial run's.  Under ``STRICT`` policy a task
+    failure propagates (in-process with its original exception type,
+    from a pooled worker as a
+    :class:`~repro.errors.TaskFailedError`); under a recovery policy a
+    group whose task fails even after retries is demoted to individual
+    modes with ``EXE``/``MRG002`` diagnostics.
     """
     opts = options or MergeOptions()
     policy = DegradationPolicy.coerce(opts.policy)
@@ -461,7 +695,8 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
     first_dec = len(ledger.records) if ledger.enabled else 0
     start = time.perf_counter()
     if analysis is None:
-        analysis = build_mergeability_graph(netlist, modes, opts)
+        analysis = build_mergeability_graph(netlist, modes, opts,
+                                            jobs=jobs, collector=sink)
     by_name = {mode.name: mode for mode in modes}
     run = MergingRun(analysis=analysis)
 
@@ -476,156 +711,176 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
         max_clock_graph_nodes=opts.max_clock_graph_nodes,
         signoff_guard=opts.signoff_guard,
         max_repair_attempts=opts.max_repair_attempts,
+        exec_deadline_seconds=opts.exec_deadline_seconds,
+        exec_max_attempts=opts.exec_max_attempts,
     )
 
-    def try_merge(names: List[str]) -> MergeResult:
-        group_modes = [by_name[n] for n in names]
-        name = names[0] if len(names) == 1 else None
-        return merge_modes(netlist, group_modes, name=name,
-                           options=group_opts)
-
-    def guard_group(names: List[str], failed: MergeResult) -> bool:
-        """Sign-off guard hook; True when it produced final outcomes."""
-        from repro.core.signoff import SignoffGuard
-
-        guard = SignoffGuard(netlist, [by_name[n] for n in names],
-                             group_opts, sink)
-        repaired = guard.repair_group(names, failed)
-        if repaired is None:
-            return False
-        for outcome in repaired:
-            run.outcomes.append(GroupOutcome(
-                outcome.mode_names, outcome.result, error=outcome.error,
-                repaired=outcome.repaired))
-        return True
-
-    def merge_group(names: List[str]) -> None:
-        try:
-            result = try_merge(names)
-        except Exception as exc:
-            if policy is DegradationPolicy.STRICT:
-                raise
-            recover_group(names, exc)
-            return
-        if len(names) == 1 or result.ok:
-            run.outcomes.append(GroupOutcome(names, result))
-            return
-        if opts.signoff_guard and guard_group(names, result):
-            return
-        half = len(names) // 2
-        merge_group(names[:half])
-        merge_group(names[half:])
-
-    def budget_exceeded(exc: BaseException) -> Optional[BudgetExceededError]:
-        if isinstance(exc, BudgetExceededError):
-            return exc
-        if isinstance(exc, MergeStepError) \
-                and isinstance(exc.cause, BudgetExceededError):
-            return exc.cause
-        return None
-
-    def recover_group(names: List[str], exc: BaseException) -> None:
-        """Demote the offending mode(s) instead of aborting the run."""
-        reason = str(exc)
-        if len(names) == 1:
-            # An individual mode whose (re)construction fails: keep the
-            # failure as a structured outcome, never an exception.
-            sink.capture(exc, source=names[0])
-            run.outcomes.append(GroupOutcome(names, None, error=reason))
-            return
-        budget_exc = budget_exceeded(exc)
-        if budget_exc is not None:
-            # Retrying a budget-blown merge once per member would cost
-            # up to N more full budgets; degrade the group wholesale.
-            sink.report(
-                "SGN006",
-                f"group {{{', '.join(names)}}} exceeded its "
-                f"{budget_exc.kind} budget ({budget_exc}); keeping its "
-                f"modes individual",
-                severity=Severity.WARNING, source="+".join(names))
-            ledger.decide(
-                "merge.budget", group_subject(names),
-                verdict="degraded",
-                evidence=[f"{budget_exc.kind} budget exceeded: {budget_exc}"],
-                modes=names, budget_kind=budget_exc.kind)
-            for name in names:
-                merge_group([name])
-            return
-        for i, culprit in enumerate(names):
-            survivors = names[:i] + names[i + 1:]
-            try:
-                try_merge(survivors)
-            except Exception:
-                continue
-            sink.report(
-                "MRG002",
-                f"mode {culprit!r} demoted from group "
-                f"{{{', '.join(names)}}}: {reason}",
-                severity=Severity.WARNING, source=culprit)
-            ledger.decide(
-                "merge.demotion", f"mode:{culprit}",
-                verdict="demoted",
-                evidence=[f"group without {culprit!r} merges cleanly",
-                          reason],
-                modes=names, culprit=culprit)
-            merge_group(survivors)
-            merge_group([culprit])
-            return
-        # No single demotion rescues the group: bisect.
-        sink.report(
-            "MRG001",
-            f"group {{{', '.join(names)}}} failed to merge ({reason}); "
-            f"bisecting",
-            severity=Severity.WARNING)
-        half = len(names) // 2
-        merge_group(names[:half])
-        merge_group(names[half:])
+    from repro.checkpoint import MergeCheckpoint as _Checkpoint
 
     tracer = get_tracer()
     metrics = get_metrics()
     with tracer.span("merge_all", groups=len(analysis.groups),
                      modes=len(list(modes))):
+        # Plan every analysis group up front (checkpoint lookups
+        # included), then flush results strictly in analysis order — the
+        # cursor only advances over a group whose work is done, so the
+        # outcome/diagnostic/decision sequence is identical at any job
+        # count and any completion order.
+        plans: List[dict] = []
         for group in analysis.groups:
             names = list(group)
             group_hash = ""
+            entry = None
+            if checkpoint is not None:
+                group_hash = checkpoint.group_hash(
+                    netlist, [by_name[n] for n in names], group_opts)
+                entry = checkpoint.lookup("+".join(names), group_hash)
+            plans.append({"names": names, "key": "+".join(names),
+                          "hash": group_hash, "entry": entry,
+                          "outcome": None, "done": False})
+        pending = [plan for plan in plans if plan["entry"] is None]
+        state = {"cursor": 0, "diag_cursor": len(sink.diagnostics)}
+
+        def restore(plan: dict) -> None:
+            names = plan["names"]
+            entry = plan["entry"]
             with tracer.span(f"group:{'+'.join(names)}", modes=names), \
                     ledger.frame("merge.group", group_subject(names),
                                  modes=names):
+                for stored in entry["outcomes"]:
+                    o_names, o_result, o_error, o_repaired = \
+                        checkpoint.restore_outcome(stored)
+                    run.outcomes.append(GroupOutcome(
+                        o_names, o_result, error=o_error,
+                        repaired=o_repaired, restored=True))
+                sink.extend(checkpoint.restore_diagnostics(entry))
+                sink.report(
+                    "SGN007",
+                    f"group {{{', '.join(names)}}} restored from "
+                    f"checkpoint",
+                    severity=Severity.INFO, source=plan["key"])
+                ledger.decide(
+                    "checkpoint.restore", group_subject(names),
+                    verdict="restored",
+                    evidence=[f"content hash {plan['hash'][:12]} "
+                              f"matched checkpoint"],
+                    modes=names)
+                if tracer.enabled:
+                    tracer.annotate(restored=True)
+
+        def demote(plan: dict, task_outcome) -> List[GroupOutcome]:
+            """A group whose engine task failed even after retries:
+            demote it to individual modes instead of losing the run."""
+            names = plan["names"]
+            with tracer.span(f"group:{'+'.join(names)}", modes=names), \
+                    ledger.frame("merge.group", group_subject(names),
+                                 modes=names):
+                sink.report(
+                    "MRG002",
+                    f"group {{{', '.join(names)}}} demoted to individual "
+                    f"modes after an execution failure: "
+                    f"{task_outcome.error}",
+                    severity=Severity.WARNING, source=plan["key"])
+                ledger.decide(
+                    "merge.demotion", group_subject(names),
+                    verdict="demoted", evidence=[task_outcome.error],
+                    modes=names)
+            produced: List[GroupOutcome] = []
+            for name in names:
+                produced.extend(run_merge_group(
+                    netlist, by_name, [name], group_opts, sink))
+            run.outcomes.extend(produced)
+            return produced
+
+        def apply(plan: dict) -> None:
+            task_outcome = plan["outcome"]
+            names, key = plan["names"], plan["key"]
+            if jobs > 1 and task_outcome.ok:
+                # Graft the worker's bundle: decisions under the current
+                # frame (span names preserved), diagnostics appended raw
+                # (the worker already bridged them into its own ledger
+                # and metrics — re-adding would double-count), metrics
+                # folded, outcomes rebuilt from the checkpoint
+                # representation.
+                bundle = task_outcome.value
+                with tracer.span(f"group:{'+'.join(names)}",
+                                 modes=names):
+                    if ledger.enabled:
+                        ledger.graft(bundle["decisions"])
+                    sink.diagnostics.extend(
+                        Diagnostic.from_dict(record)
+                        for record in bundle["diagnostics"])
+                    if metrics.enabled and bundle["metrics"]:
+                        metrics.merge_payload(bundle["metrics"])
+                    for stored in bundle["outcomes"]:
+                        o_names, o_result, o_error, o_repaired = \
+                            _Checkpoint.restore_outcome(stored)
+                        run.outcomes.append(GroupOutcome(
+                            o_names, o_result, error=o_error,
+                            repaired=o_repaired))
                 if checkpoint is not None:
-                    key = "+".join(names)
-                    group_hash = checkpoint.group_hash(
-                        netlist, [by_name[n] for n in names], group_opts)
-                    entry = checkpoint.lookup(key, group_hash)
-                    if entry is not None:
-                        for stored in entry["outcomes"]:
-                            o_names, o_result, o_error, o_repaired = \
-                                checkpoint.restore_outcome(stored)
-                            run.outcomes.append(GroupOutcome(
-                                o_names, o_result, error=o_error,
-                                repaired=o_repaired, restored=True))
-                        sink.extend(checkpoint.restore_diagnostics(entry))
-                        sink.report(
-                            "SGN007",
-                            f"group {{{', '.join(names)}}} restored from "
-                            f"checkpoint",
-                            severity=Severity.INFO, source=key)
-                        ledger.decide(
-                            "checkpoint.restore", group_subject(names),
-                            verdict="restored",
-                            evidence=[f"content hash {group_hash[:12]} "
-                                      f"matched checkpoint"],
-                            modes=names)
-                        if tracer.enabled:
-                            tracer.annotate(restored=True)
-                        continue
-                outcome_mark = len(run.outcomes)
-                diag_mark = len(sink)
-                merge_group(names)
-                if checkpoint is not None:
-                    checkpoint.record(key, group_hash,
-                                      run.outcomes[outcome_mark:],
-                                      sink.diagnostics[diag_mark:])
+                    checkpoint.record_serialized(
+                        key, plan["hash"], bundle["outcomes"],
+                        bundle["diagnostics"])
                     checkpoint.save()
+                return
+            if task_outcome.ok:
+                produced = list(task_outcome.value)
+                run.outcomes.extend(produced)
+            else:
+                produced = demote(plan, task_outcome)
+            if checkpoint is not None:
+                checkpoint.record(
+                    key, plan["hash"], produced,
+                    sink.diagnostics[state["diag_cursor"]:])
+                checkpoint.save()
+
+        def flush() -> None:
+            while state["cursor"] < len(plans):
+                plan = plans[state["cursor"]]
+                if plan["entry"] is not None:
+                    restore(plan)
+                elif plan["done"]:
+                    apply(plan)
+                else:
+                    break
+                state["cursor"] += 1
+                state["diag_cursor"] = len(sink.diagnostics)
+
+        flush()  # leading restored groups
+        if pending:
+            by_index = {i: plan for i, plan in enumerate(pending)}
+
+            def on_result(task_outcome) -> None:
+                plan = by_index[task_outcome.index]
+                plan["outcome"] = task_outcome
+                plan["done"] = True
+                flush()
+
+            supervisor = Supervisor(
+                _engine_config(group_opts, jobs,
+                               propagate=(policy
+                                          is DegradationPolicy.STRICT)),
+                collector=sink)
+            keys = [f"group:{plan['key']}" for plan in pending]
+            tasks = [(plan["names"],) for plan in pending]
+            if jobs > 1:
+                supervisor.run(
+                    _group_task, tasks, keys=keys,
+                    validate=_group_payload_error,
+                    initializer=_group_init,
+                    initargs=(netlist, by_name, group_opts),
+                    label="merge.groups", on_result=on_result)
+            else:
+                def direct(names):
+                    return run_merge_group(netlist, by_name, list(names),
+                                           group_opts, sink)
+
+                supervisor.run(
+                    direct, tasks, keys=keys,
+                    validate=_direct_payload_error,
+                    label="merge.groups", on_result=on_result)
+        flush()  # trailing restored groups
         if metrics.enabled:
             metrics.inc("merge.modes_in", run.individual_count)
             metrics.inc("merge.modes_out", run.merged_count)

@@ -69,6 +69,14 @@ class MergeOptions:
     signoff_guard: bool = False
     #: re-merge attempts the sign-off guard may spend per failing group
     max_repair_attempts: int = 12
+    #: wall-clock seconds one pooled execution-engine task (a group merge
+    #: or scan pair under ``--jobs``) may run before its worker is killed
+    #: and the task retried; None derives a deadline from
+    #: ``budget_seconds`` when set, else no deadline.  Not part of the
+    #: checkpoint group hash: it tunes execution, not results.
+    exec_deadline_seconds: Optional[float] = None
+    #: attempts the execution engine spends per task (infra faults only)
+    exec_max_attempts: int = 3
 
     def watchdog(self) -> Optional[WatchdogBudget]:
         """A fresh armed budget for one merge call, or None when unset."""

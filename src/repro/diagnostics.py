@@ -50,6 +50,13 @@ break across releases:
 ``SGN006``   watchdog budget exceeded; the group degraded per policy
 ``SGN007``   merge group restored from a checkpoint
 ``SGN008``   checkpoint entry discarded (stale input hash / unreadable)
+``EXE001``   a supervised task exceeded its wall-clock deadline (retried)
+``EXE002``   a worker process crashed / was killed by a signal (retried)
+``EXE003``   a task returned a corrupted payload (rejected and retried)
+``EXE004``   pooled attempts exhausted; task re-run serially in-process
+``EXE005``   the worker pool degraded to serial in-process execution
+``EXE006``   a supervised task failed after all retry attempts (demoted)
+``EXE007``   deterministic chaos injection is active for this run
 ===========  ==============================================================
 """
 
@@ -157,6 +164,19 @@ class Diagnostic:
             "details": {k: _jsonable(v) for k, v in self.details.items()},
         }
 
+    @classmethod
+    def from_dict(cls, record: dict) -> "Diagnostic":
+        """Rebuild a diagnostic from its :meth:`to_dict` form."""
+        return cls(
+            code=record.get("code", "GEN000"),
+            message=record.get("message", ""),
+            severity=Severity(record.get("severity", "error")),
+            source=record.get("source", ""),
+            line=int(record.get("line", 0)),
+            hint=record.get("hint", ""),
+            details=dict(record.get("details", {})),
+        )
+
     def __str__(self) -> str:
         return self.format()
 
@@ -184,6 +204,8 @@ _ERROR_CODES = [
     (errors.BudgetExceededError, "SGN006"),
     (errors.RefinementError, "MRG003"),
     (errors.EquivalenceError, "MRG004"),
+    (errors.TaskFailedError, "EXE006"),
+    (errors.ExecError, "EXE006"),
     (errors.MergeError, "MRG001"),
     (errors.TimingError, "TIM001"),
     (FileNotFoundError, "IO001"),
@@ -203,6 +225,13 @@ _CODE_HINTS = {
     "SGN005": "raise --max-repair-attempts or fix the culprit constraint",
     "SGN006": "raise --budget-seconds or run under --policy strict to abort",
     "SGN008": "re-run from scratch or delete the checkpoint file",
+    "EXE001": "raise --budget-seconds / exec_deadline_seconds if the task "
+              "legitimately needs longer",
+    "EXE005": "the run continues serially; results are unaffected, only "
+              "slower",
+    "EXE006": "the failed task's work unit is demoted, not lost; see the "
+              "accompanying MRG002 diagnostics",
+    "EXE007": "unset REPRO_CHAOS to disable fault injection",
 }
 
 

@@ -161,3 +161,22 @@ class BudgetExceededError(MergeError):
 
 class EquivalenceError(MergeError):
     """An equivalence check found a residual mismatch after refinement."""
+
+
+class ExecError(ReproError):
+    """A fault in the supervised parallel execution engine."""
+
+
+class TaskFailedError(ExecError):
+    """A supervised task failed and ``propagate_errors`` was requested.
+
+    Pooled workers report task-body exceptions as strings (exception
+    objects with custom constructors don't survive pickling); under
+    ``propagate_errors`` the supervisor wraps that report in this error
+    so STRICT callers still get a raising, typed failure.
+    """
+
+    def __init__(self, key: str, reason: str):
+        super().__init__(f"task {key!r} failed: {reason}")
+        self.key = key
+        self.reason = reason

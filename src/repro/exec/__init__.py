@@ -1,0 +1,23 @@
+"""Fault-contained parallel task execution (supervisor + chaos).
+
+See :mod:`repro.exec.supervisor` for the execution engine and
+:mod:`repro.exec.chaos` for deterministic fault injection.
+"""
+
+from repro.exec.chaos import (CHAOS_ENV, ChaosCrashError, ChaosFault,
+                              ChaosPlan, CorruptPayload, FAULT_KINDS,
+                              SEEDED_MAX_ATTEMPT)
+from repro.exec.supervisor import Supervisor, SupervisorConfig, TaskOutcome
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosCrashError",
+    "ChaosFault",
+    "ChaosPlan",
+    "CorruptPayload",
+    "FAULT_KINDS",
+    "SEEDED_MAX_ATTEMPT",
+    "Supervisor",
+    "SupervisorConfig",
+    "TaskOutcome",
+]

@@ -72,6 +72,10 @@ DECISION_KINDS: Dict[str, str] = {
     "merge.demotion": "mode(s) demoted from a group by fault recovery",
     "merge.budget": "a group degraded after exceeding a watchdog budget",
     "checkpoint.restore": "a group replayed from a checkpoint",
+    # -- execution engine ----------------------------------------------
+    "exec.task": "a supervised task recovered from faults or was demoted",
+    "exec.retry": "one task attempt retried after an infrastructure fault",
+    "exec.degrade": "a batch degraded from pooled to serial execution",
     # -- diagnostics bridge --------------------------------------------
     "diagnostic": "a structured diagnostic bridged into the ledger",
 }
@@ -257,6 +261,41 @@ class DecisionLedger(NullDecisions):
     @property
     def current(self) -> Optional[Decision]:
         return self._stack[-1] if self._stack else None
+
+    def graft(self, records: Sequence[dict]) -> List[Decision]:
+        """Re-record serialized decisions (worker ``to_dict`` nodes) here.
+
+        This is how the decision subtree a forked worker recorded makes
+        it back into the parent's ledger: the worker ships
+        ``[d.to_dict() for d in ledger.records]`` over the result pipe
+        and the supervisor grafts them.  Ids are renumbered into this
+        ledger's sequence, parent links are rewired through the old-id
+        map, and roots (``parent is None`` in the worker) attach to the
+        current frame — exactly where the decisions would have landed
+        had the work run in-process.  Span names are preserved verbatim.
+        """
+        id_map: Dict[int, Decision] = {}
+        grafted: List[Decision] = []
+        for record in records:
+            self._check(record.get("kind", ""))
+            old_parent = record.get("parent")
+            parent = id_map.get(old_parent) if old_parent is not None \
+                else self.current
+            decision = Decision(
+                kind=record.get("kind", ""),
+                subject=record.get("subject", ""),
+                verdict=record.get("verdict", ""),
+                evidence=[str(line)
+                          for line in record.get("evidence", ())],
+                parent=parent,
+                id=len(self.records),
+                span=record.get("span", ""),
+                attrs=dict(record.get("attrs", {})))
+            self.records.append(decision)
+            if "id" in record:
+                id_map[record["id"]] = decision
+            grafted.append(decision)
+        return grafted
 
     # -- queries --------------------------------------------------------
     def find(self, query: str) -> List[Decision]:

@@ -113,6 +113,23 @@ METRIC_CONTRACT: Dict[str, Tuple[str, str]] = {
     "sta.timed_relationships": (
         "counter", "timed launch/capture relationships examined"),
     "sta.run_seconds": ("histogram", "wall-clock seconds per STA run"),
+    # -- execution engine ----------------------------------------------
+    "exec.tasks": ("counter", "tasks submitted to the supervisor"),
+    "exec.retries": ("counter", "task attempts retried after infra faults"),
+    "exec.timeouts": (
+        "counter", "task attempts killed for exceeding their deadline"),
+    "exec.crashes": ("counter", "worker processes lost to crashes/signals"),
+    "exec.corrupt_payloads": (
+        "counter", "task payloads rejected by validation"),
+    "exec.in_process_reruns": (
+        "counter", "tasks re-run serially after exhausting pooled attempts"),
+    "exec.degraded": (
+        "counter", "batches degraded from pooled to serial execution"),
+    "exec.workers_spawned": ("counter", "worker processes forked"),
+    "exec.task_failures": (
+        "counter", "tasks that failed after all attempts"),
+    "exec.task_seconds": (
+        "histogram", "wall-clock seconds per supervised task (all attempts)"),
     # -- diagnostics / run-level ---------------------------------------
     "diagnostics.emitted": ("counter", "structured diagnostics recorded"),
     "run.wall_seconds": ("gauge", "wall-clock seconds of the whole run"),
@@ -147,6 +164,21 @@ class _Histogram:
             "sum": self.sum,
             "count": self.count,
         }
+
+    def merge(self, record: dict) -> None:
+        """Fold another histogram's :meth:`to_dict` record into this one.
+
+        Bucket layouts must match (they do whenever both sides observed
+        with the same default buckets); mismatched layouts fold into the
+        overflow bucket rather than corrupting counts.
+        """
+        if tuple(record.get("buckets", ())) == self.buckets:
+            for i, count in enumerate(record.get("counts", ())):
+                self.counts[i] += count
+        else:
+            self.counts[-1] += record.get("count", 0)
+        self.sum += record.get("sum", 0.0)
+        self.count += record.get("count", 0)
 
 
 class NullMetrics:
@@ -240,6 +272,28 @@ class MetricsRegistry(NullMetrics):
             "histograms": {k: self._histograms[k].to_dict()
                            for k in sorted(self._histograms)},
         }
+
+    def merge_payload(self, payload: dict) -> None:
+        """Fold another registry's :meth:`to_dict` payload into this one.
+
+        This is how metrics recorded inside a forked worker process make
+        it back to the parent: the worker serializes its registry with
+        ``to_dict`` and ships it over the result pipe; the supervisor
+        folds it here.  Counters and histogram observations add; gauges
+        take the incoming value (last write wins, matching a single
+        process's behaviour).
+        """
+        for name, value in payload.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in payload.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, record in payload.get("histograms", {}).items():
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = _Histogram(record.get("buckets", SECONDS_BUCKETS))
+                self._check(name, "histogram")
+                self._histograms[name] = hist
+            hist.merge(record)
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2) + "\n"

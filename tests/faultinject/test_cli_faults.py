@@ -103,7 +103,12 @@ class TestMalformedInputs:
 
 
 class TestExitCodeContract:
-    def test_clean_run_is_zero(self, cli_files, capsys):
+    def test_clean_run_is_zero(self, cli_files, capsys, monkeypatch):
+        # This test's contract is a *fault-free* run: empty stderr.  The
+        # chaos-matrix CI job sets REPRO_CHAOS suite-wide, and recovered
+        # chaos faults legitimately warn on stderr, so pin the
+        # precondition here instead of inheriting the ambient plan.
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
         tmp, netlist, mode_a, mode_b = cli_files
         code, out, err = run_cli(capsys, "merge", str(netlist), str(mode_a),
                                  str(mode_b), "-o", str(tmp / "out"))
@@ -161,7 +166,11 @@ class TestDiagnosticsArtifact:
         assert record["diagnostics"][0]["code"] == "IO001"
         assert record["diagnostics"][0]["hint"]
 
-    def test_artifact_written_on_clean_run(self, cli_files, capsys):
+    def test_artifact_written_on_clean_run(self, cli_files, capsys,
+                                           monkeypatch):
+        # Fault-free contract (empty diagnostics artifact): neutralize
+        # any chaos-matrix REPRO_CHAOS plan, which would add EXE entries.
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
         tmp, netlist, mode_a, mode_b = cli_files
         artifact = tmp / "diag.json"
         code, out, err = run_cli(capsys, "--diagnostics", str(artifact),
