@@ -1,0 +1,89 @@
+"""Bench: serve-layer durability overhead.
+
+Two numbers bound the cost of the service's crash-safety machinery:
+
+1. **journal throughput** — fsync-before-ack appends per second.  Every
+   job transition pays one of these; the assertion is a conservative
+   floor (50/s) that still catches an accidental O(file) rewrite or a
+   double-fsync regression even on slow CI disks;
+2. **admission latency** — full submissions per second through
+   ``MergeService.submit`` (payload validation, input dump with fsync,
+   journal ack) for a small but real payload, floor 20/s.
+
+Headline gauges snapshot to ``BENCH_serve_queue_journal.json`` /
+``BENCH_serve_queue_admission.json`` for run-to-run diffing with
+``python -m repro.obs.bench_diff``.
+"""
+
+import time
+
+import pytest
+
+from bench_common import once, write_bench_json
+from repro.serve.journal import JobJournal
+from repro.serve.service import MergeService, ServeConfig
+
+APPENDS = 200
+SUBMITS = 25
+
+NETLIST = """\
+module bench (clk, d, q);
+  input clk, d;
+  output q;
+  DFF r0 (.CK(clk), .D(d), .Q(q));
+endmodule
+"""
+
+MODE = "create_clock -name clk -period 1.0 [get_ports clk]\n"
+
+
+@pytest.mark.benchmark(group="serve")
+def test_journal_append_throughput(benchmark, tmp_path):
+    def appends():
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        start = time.perf_counter()
+        for index in range(APPENDS):
+            journal.append("start", job=f"j{index}", attempt=1)
+        elapsed = time.perf_counter() - start
+        journal.close()
+        (tmp_path / "journal.jsonl").unlink()
+        return elapsed
+
+    elapsed = once(benchmark, appends)
+    per_second = APPENDS / elapsed
+    print(f"\njournal: {APPENDS} fsync'd appends in {elapsed:.3f}s "
+          f"({per_second:.0f}/s)")
+    write_bench_json("serve_queue_journal",
+                     journal_appends_per_second=per_second)
+    assert per_second > 50, \
+        f"journal append throughput collapsed: {per_second:.0f}/s"
+
+
+@pytest.mark.benchmark(group="serve")
+def test_submission_admission_throughput(benchmark, tmp_path):
+    payload = {"netlist": NETLIST,
+               "modes": {"m0": MODE, "m1": MODE}}
+
+    def submits():
+        # runners are never started: this measures admission alone
+        service = MergeService(tmp_path / "root",
+                               ServeConfig(max_queue=SUBMITS + 1),
+                               chaos=None)
+        start = time.perf_counter()
+        for _ in range(SUBMITS):
+            service.submit(dict(payload))
+        elapsed = time.perf_counter() - start
+        service.journal.close()
+        import shutil
+
+        shutil.rmtree(tmp_path / "root")
+        return elapsed
+
+    elapsed = once(benchmark, submits)
+    per_second = SUBMITS / elapsed
+    print(f"\nadmission: {SUBMITS} durable submissions in {elapsed:.3f}s "
+          f"({per_second:.0f}/s)")
+    write_bench_json("serve_queue_admission",
+                     submissions_per_second=per_second)
+    assert per_second > 20, \
+        f"submission admission throughput collapsed: {per_second:.0f}/s"

@@ -3,8 +3,12 @@
 A design-level merge of a mode-rich SoC can run for a long time; a
 killed run used to lose every completed group.  ``merge_all`` now
 serializes its state after *every* merge group into a schema-versioned
-JSON file, written atomically (temp file + ``os.replace``) so even a
-``kill -9`` mid-save leaves the previous consistent snapshot behind.
+**JSONL** file: a header line followed by one self-checksummed record
+per completed group, appended with ``fsync`` after every group.  A
+``kill -9`` mid-append can tear at most the final record; on resume the
+torn tail is detected (checksum/JSON damage), the longest valid prefix
+is recovered with an ``SGN009`` diagnostic, and only the torn groups
+recompute — never the whole run, and never silently.
 ``repro-merge merge --checkpoint run.ckpt`` resumes from the last
 completed group.
 
@@ -40,7 +44,19 @@ from repro.sdc.writer import write_mode
 
 #: Version of the checkpoint file layout.  Bump on any incompatible
 #: change; files with a different version are discarded, never guessed at.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: v1 was a monolithic JSON snapshot rewritten after every group; v2 is
+#: append-only JSONL with per-record checksums and torn-tail recovery.
+CHECKPOINT_SCHEMA_VERSION = 2
+
+#: ``kind`` field of the JSONL header line.
+CHECKPOINT_KIND = "repro-checkpoint"
+
+
+def _record_crc(record: dict) -> str:
+    """Self-checksum of one group record (computed without ``crc``)."""
+    body = {k: v for k, v in record.items() if k != "crc"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def content_hash(*parts: str) -> str:
@@ -126,6 +142,12 @@ class MergeCheckpoint:
         self.path = Path(path)
         self.input_hash = input_hash
         self.groups: Dict[str, dict] = {}
+        #: keys recorded since the last save (appended on save)
+        self._unsaved: List[str] = []
+        #: rewrite the whole file on next save: fresh/discarded state,
+        #: a recovered torn tail (the garbage bytes must go), or an
+        #: explicit discard()
+        self._rewrite = True
 
     # ------------------------------------------------------------------
     # persistence
@@ -138,53 +160,138 @@ class MergeCheckpoint:
 
         Unreadable, corrupt, version-mismatched or stale files are
         discarded with an ``SGN008`` diagnostic — resuming must never be
-        less robust than starting over.
+        less robust than starting over.  A file whose *tail* was torn by
+        a crash mid-append is not discarded: the longest valid prefix is
+        recovered with an ``SGN009`` diagnostic and only the torn
+        records recompute.
         """
         checkpoint = cls(path, input_hash)
         target = Path(path)
         if not target.exists():
             return checkpoint
+
+        def _discard(message: str, severity=Severity.WARNING) -> None:
+            if collector is not None:
+                collector.report("SGN008", message, severity=severity,
+                                 source=str(target))
+
         try:
-            payload = json.loads(target.read_text())
-        except (OSError, ValueError) as exc:
+            text = target.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            _discard(f"checkpoint {target} is unreadable ({exc}); "
+                     f"starting from scratch")
+            return checkpoint
+        lines = text.splitlines()
+        header = None
+        if lines:
+            try:
+                header = json.loads(lines[0])
+            except ValueError:
+                header = None
+        if not isinstance(header, dict) \
+                or header.get("kind") != CHECKPOINT_KIND:
+            # Not JSONL — a v1 monolithic snapshot or other damage.
+            try:
+                payload = json.loads(text)
+            except ValueError:
+                _discard(f"checkpoint {target} is unreadable (not a "
+                         f"JSONL checkpoint); starting from scratch")
+                return checkpoint
+            _discard(f"checkpoint {target} has schema version "
+                     f"{payload.get('schema_version')!r}, expected "
+                     f"{CHECKPOINT_SCHEMA_VERSION}; starting from "
+                     f"scratch")
+            return checkpoint
+        if header.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
+            _discard(f"checkpoint {target} has schema version "
+                     f"{header.get('schema_version')!r}, expected "
+                     f"{CHECKPOINT_SCHEMA_VERSION}; starting from "
+                     f"scratch")
+            return checkpoint
+        if input_hash and header.get("input_hash") \
+                and header["input_hash"] != input_hash:
+            _discard(f"checkpoint {target} was written for different "
+                     f"inputs; starting from scratch", Severity.INFO)
+            return checkpoint
+
+        torn_at = None
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                torn_at = lineno
+                break
+            if not isinstance(record, dict) or "key" not in record \
+                    or record.get("crc") != _record_crc(record):
+                torn_at = lineno
+                break
+            # Append wins: a resumed run re-records a stale group by
+            # appending, so the last occurrence of a key is the truth.
+            checkpoint.groups[record["key"]] = {
+                k: v for k, v in record.items()
+                if k not in ("key", "crc")}
+        if torn_at is not None:
+            # Longest valid prefix recovered; everything from the first
+            # damaged line on is dropped and will recompute.
+            get_metrics().inc("checkpoint.torn_tail_recoveries")
             if collector is not None:
+                torn = len([ln for ln in lines[torn_at - 1:]
+                            if ln.strip()])
                 collector.report(
-                    "SGN008",
-                    f"checkpoint {target} is unreadable ({exc}); "
-                    f"starting from scratch",
+                    "SGN009",
+                    f"checkpoint {target} tail is torn at line "
+                    f"{torn_at} (crash mid-append); recovered "
+                    f"{len(checkpoint.groups)} group(s), discarded "
+                    f"{torn} damaged line(s)",
                     severity=Severity.WARNING, source=str(target))
-            return checkpoint
-        if payload.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
-            if collector is not None:
-                collector.report(
-                    "SGN008",
-                    f"checkpoint {target} has schema version "
-                    f"{payload.get('schema_version')!r}, expected "
-                    f"{CHECKPOINT_SCHEMA_VERSION}; starting from scratch",
-                    severity=Severity.WARNING, source=str(target))
-            return checkpoint
-        if input_hash and payload.get("input_hash") \
-                and payload["input_hash"] != input_hash:
-            if collector is not None:
-                collector.report(
-                    "SGN008",
-                    f"checkpoint {target} was written for different "
-                    f"inputs; starting from scratch",
-                    severity=Severity.INFO, source=str(target))
-            return checkpoint
-        checkpoint.groups = dict(payload.get("groups", {}))
+        else:
+            # Clean file: future saves may append instead of rewriting.
+            checkpoint._rewrite = False
         return checkpoint
 
-    def save(self) -> None:
-        """Atomic write: a half-written file can never shadow good state."""
-        payload = {
+    def _header_line(self) -> str:
+        return json.dumps({
+            "kind": CHECKPOINT_KIND,
             "schema_version": CHECKPOINT_SCHEMA_VERSION,
             "input_hash": self.input_hash,
-            "groups": self.groups,
-        }
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=2) + "\n")
-        os.replace(tmp, self.path)
+        }, sort_keys=True)
+
+    def _record_line(self, key: str) -> str:
+        record = dict(self.groups[key])
+        record["key"] = key
+        record["crc"] = _record_crc(record)
+        return json.dumps(record, sort_keys=True)
+
+    def save(self) -> None:
+        """Durable incremental save: fsync before the caller proceeds.
+
+        The steady state appends only the records recorded since the
+        last save and fsyncs — a crash can tear at most the final
+        record, which :meth:`open` recovers from.  The first save after
+        a fresh/discarded/torn open rewrites the whole file atomically
+        (temp file + ``os.replace``) so stale bytes never shadow good
+        state.
+        """
+        if self._rewrite:
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(self._header_line() + "\n")
+                for key in self.groups:
+                    handle.write(self._record_line(key) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+            self._rewrite = False
+        elif self._unsaved:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                for key in self._unsaved:
+                    if key in self.groups:
+                        handle.write(self._record_line(key) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._unsaved = []
         get_metrics().inc("checkpoint.saves")
 
     # ------------------------------------------------------------------
@@ -228,6 +335,7 @@ class MergeCheckpoint:
             "outcomes": list(outcomes),
             "diagnostics": list(diagnostics),
         }
+        self._unsaved.append(key)
 
     def lookup(self, key: str, group_hash: str) -> Optional[dict]:
         """The stored entry for a group, or None when absent/stale."""
@@ -239,7 +347,9 @@ class MergeCheckpoint:
         return entry
 
     def discard(self, key: str) -> None:
-        self.groups.pop(key, None)
+        if self.groups.pop(key, None) is not None:
+            # Appending cannot un-record a key; rewrite on next save.
+            self._rewrite = True
 
     @staticmethod
     def restore_outcome(stored: dict):

@@ -293,6 +293,57 @@ def cmd_explain(args: argparse.Namespace, policy: DegradationPolicy,
     return 1 if unmatched else 0
 
 
+def cmd_serve(args: argparse.Namespace, policy: DegradationPolicy,
+              collector: DiagnosticCollector) -> int:
+    """Run the durable batch merge service until SIGTERM/SIGINT.
+
+    Startup resumes any jobs the journal shows as non-terminal
+    (``SRV005``); shutdown drains gracefully — in-flight jobs abort at
+    the next engine boundary with their checkpoints intact and resume
+    byte-identically on the next start.
+    """
+    import signal as signal_mod
+
+    from repro.serve.api import build_server
+    from repro.serve.service import MergeService, ServeConfig
+
+    config = ServeConfig(
+        runners=args.runners,
+        jobs=args.jobs,
+        max_queue=args.max_queue,
+        max_payload_bytes=args.max_payload_bytes,
+        max_retries=max(0, args.max_retries),
+        job_budget_seconds=args.job_budget_seconds,
+        policy=policy,
+    )
+    service = MergeService(args.root, config, collector=collector)
+    service.start()
+    server = build_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro-serve listening on http://{host}:{port} "
+          f"(root {args.root})", flush=True)
+
+    def _drain(signum, frame):  # noqa: ARG001 — signal signature
+        # shutdown() must not run on the signal frame's thread while
+        # serve_forever holds its own loop; a helper thread unblocks it
+        import threading as threading_mod
+
+        threading_mod.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for sig in (signal_mod.SIGTERM, signal_mod.SIGINT):
+        previous[sig] = signal_mod.signal(sig, _drain)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        for sig, handler in previous.items():
+            signal_mod.signal(sig, handler)
+        server.server_close()
+        service.drain()
+        print("repro-serve drained", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-merge",
@@ -406,6 +457,40 @@ def build_parser() -> argparse.ArgumentParser:
                            help="enable the sign-off guard so its repair "
                                 "decisions appear in the graph")
     p_explain.set_defaults(func=cmd_explain)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the durable batch merge service (JSON API over HTTP)")
+    p_serve.add_argument("--root", default="serve-root", metavar="DIR",
+                         help="service state directory: job journal, "
+                              "per-job inputs, checkpoints and artifacts "
+                              "(default ./serve-root); reusing a root "
+                              "resumes its interrupted jobs")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8037, metavar="N",
+                         help="TCP port; 0 picks an ephemeral port "
+                              "(printed on startup; default 8037)")
+    p_serve.add_argument("--runners", type=_positive_int, default=2,
+                         metavar="N",
+                         help="jobs that may run concurrently (default 2)")
+    p_serve.add_argument("--max-queue", type=_positive_int, default=8,
+                         metavar="N",
+                         help="pending-job cap; beyond it submissions "
+                              "are rejected with SRV001/429 (default 8)")
+    p_serve.add_argument("--max-payload-bytes", type=_positive_int,
+                         default=4_000_000, metavar="N",
+                         help="per-submission size cap; beyond it "
+                              "submissions are rejected with SRV002/413 "
+                              "(default 4000000)")
+    p_serve.add_argument("--max-retries", type=int, default=2, metavar="N",
+                         help="merge attempts per job beyond the first "
+                              "(default 2)")
+    p_serve.add_argument("--job-budget-seconds", type=float, default=None,
+                         metavar="S",
+                         help="wall-clock watchdog budget per merge "
+                              "attempt (default: unbounded)")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -190,7 +190,10 @@ def _engine_config(options: MergeOptions, jobs: int,
         deadline = 2.0 * options.budget_seconds + 1.0
     return SupervisorConfig(jobs=jobs, deadline_seconds=deadline,
                             max_attempts=options.exec_max_attempts,
-                            propagate_errors=propagate)
+                            propagate_errors=propagate,
+                            stop_event=options.exec_stop_event,
+                            slot_gate=options.exec_slot_gate,
+                            gate_client=options.exec_gate_client)
 
 
 def _scan_payload_error(value) -> str:
@@ -713,6 +716,9 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
         max_repair_attempts=opts.max_repair_attempts,
         exec_deadline_seconds=opts.exec_deadline_seconds,
         exec_max_attempts=opts.exec_max_attempts,
+        exec_stop_event=opts.exec_stop_event,
+        exec_slot_gate=opts.exec_slot_gate,
+        exec_gate_client=opts.exec_gate_client,
     )
 
     from repro.checkpoint import MergeCheckpoint as _Checkpoint

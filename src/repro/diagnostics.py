@@ -50,6 +50,8 @@ break across releases:
 ``SGN006``   watchdog budget exceeded; the group degraded per policy
 ``SGN007``   merge group restored from a checkpoint
 ``SGN008``   checkpoint entry discarded (stale input hash / unreadable)
+``SGN009``   checkpoint tail torn by a crash; longest valid prefix
+             recovered, only the torn records recompute
 ``EXE001``   a supervised task exceeded its wall-clock deadline (retried)
 ``EXE002``   a worker process crashed / was killed by a signal (retried)
 ``EXE003``   a task returned a corrupted payload (rejected and retried)
@@ -57,6 +59,16 @@ break across releases:
 ``EXE005``   the worker pool degraded to serial in-process execution
 ``EXE006``   a supervised task failed after all retry attempts (demoted)
 ``EXE007``   deterministic chaos injection is active for this run
+``EXE008``   a supervised batch was interrupted by a stop/drain request
+``SRV001``   submission rejected: job queue is full (HTTP 429)
+``SRV002``   submission rejected: payload exceeds the size cap (HTTP 413)
+``SRV003``   job journal write failed (submission not acknowledged)
+``SRV004``   job journal tail torn by a crash; valid prefix recovered
+``SRV005``   in-flight job re-enqueued after a server restart
+``SRV006``   service is draining; no new submissions (HTTP 503)
+``SRV007``   job cancelled by request
+``SRV008``   job failed; bounded retry scheduled
+``SRV009``   submission rejected: malformed payload (HTTP 400)
 ===========  ==============================================================
 """
 
@@ -205,6 +217,8 @@ _ERROR_CODES = [
     (errors.RefinementError, "MRG003"),
     (errors.EquivalenceError, "MRG004"),
     (errors.TaskFailedError, "EXE006"),
+    (errors.ExecInterrupted, "EXE008"),
+    (errors.AdmissionError, "SRV009"),
     (errors.ExecError, "EXE006"),
     (errors.MergeError, "MRG001"),
     (errors.TimingError, "TIM001"),
@@ -232,11 +246,30 @@ _CODE_HINTS = {
     "EXE006": "the failed task's work unit is demoted, not lost; see the "
               "accompanying MRG002 diagnostics",
     "EXE007": "unset REPRO_CHAOS to disable fault injection",
+    "EXE008": "the batch stopped cleanly; resume replays from the "
+              "checkpoint with byte-identical results",
+    "SGN009": "no action needed; the torn groups recompute on this run",
+    "SRV001": "retry after a running job finishes, or raise --max-queue",
+    "SRV002": "split the workload or raise --max-payload-bytes",
+    "SRV003": "check the journal directory is writable; the submission "
+              "was not acknowledged and is safe to retry",
+    "SRV004": "no action needed; unacknowledged tail records recompute",
+    "SRV005": "no action needed; the job resumes from its checkpoint",
+    "SRV006": "resubmit to the replacement server after the drain",
+    "SRV008": "the retry is automatic; check the job's diagnostics if "
+              "it ultimately fails",
+    "SRV009": "fix the request body: netlist text plus a non-empty "
+              "modes map of SDC texts",
 }
 
 
 def code_for_error(exc: BaseException) -> str:
     """The stable diagnostic code for an exception (``GEN000`` fallback)."""
+    # Errors that carry their own stable code (AdmissionError) win: one
+    # exception type spans several SRV rejection codes.
+    own = getattr(exc, "code", None)
+    if isinstance(own, str) and own:
+        return own
     # UnicodeDecodeError subclasses ValueError, not OSError; check it and
     # any other exact matches before the subclass walk.
     for err_type, code in _ERROR_CODES:

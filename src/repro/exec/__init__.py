@@ -7,6 +7,7 @@ See :mod:`repro.exec.supervisor` for the execution engine and
 from repro.exec.chaos import (CHAOS_ENV, ChaosCrashError, ChaosFault,
                               ChaosPlan, CorruptPayload, FAULT_KINDS,
                               SEEDED_MAX_ATTEMPT)
+from repro.exec.gate import FairSlotGate
 from repro.exec.supervisor import Supervisor, SupervisorConfig, TaskOutcome
 
 __all__ = [
@@ -16,6 +17,7 @@ __all__ = [
     "ChaosPlan",
     "CorruptPayload",
     "FAULT_KINDS",
+    "FairSlotGate",
     "SEEDED_MAX_ATTEMPT",
     "Supervisor",
     "SupervisorConfig",

@@ -1,0 +1,103 @@
+"""Fair multiplexing of a bounded worker budget across batches.
+
+The batch merge service (:mod:`repro.serve`) runs several jobs
+concurrently, each driving its own :class:`~repro.exec.supervisor.
+Supervisor` batch.  Left alone, N jobs at J workers each would
+oversubscribe the host N-fold and — worse — let an early long job
+starve everything behind it.  :class:`FairSlotGate` is the shared
+arbiter: a fixed number of execution *slots*, granted to contending
+clients in round-robin order of first arrival.
+
+A supervisor holds one slot per running attempt (see
+``SupervisorConfig.slot_gate``); between attempts the slot returns to
+the gate and the next client in the rotation gets it.  With two jobs
+contending for one slot their task batches therefore interleave
+A, B, A, B, ... instead of A, A, ..., B, B — tail latency is shared,
+not stacked.
+
+The gate is duck-typed by the supervisor: any object with
+``acquire(client, timeout) -> bool`` and ``release(client)`` works.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class FairSlotGate:
+    """A counted slot pool granted round-robin across client names."""
+
+    def __init__(self, slots: int):
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.slots = slots
+        self._cond = threading.Condition()
+        self._active = 0
+        #: client -> number of threads currently waiting in acquire()
+        self._waiting: Dict[str, int] = {}
+        #: round-robin rotation of clients with at least one waiter
+        self._rotation: Deque[str] = deque()
+        #: grant order, for tests and postmortems (bounded)
+        self.grants: List[str] = []
+
+    # ------------------------------------------------------------------
+    def _eligible(self, client: str) -> bool:
+        """May ``client`` take a slot now?  Caller holds the lock.
+
+        A slot must be free and the client must be at the head of the
+        rotation — strict round-robin, so a client with a deep backlog
+        cannot lap one with a single task.
+        """
+        return (self._active < self.slots
+                and bool(self._rotation)
+                and self._rotation[0] == client)
+
+    def acquire(self, client: str, timeout: Optional[float] = None
+                ) -> bool:
+        """Take one slot as ``client``; False when ``timeout`` expires."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with self._cond:
+            self._waiting[client] = self._waiting.get(client, 0) + 1
+            if client not in self._rotation:
+                self._rotation.append(client)
+            try:
+                while not self._eligible(client):
+                    remaining = None if deadline is None \
+                        else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
+                self._active += 1
+                if len(self.grants) < 10000:
+                    self.grants.append(client)
+                # Rotate: the granted client goes to the back (if it
+                # still has waiters) so the next client gets the next
+                # free slot.
+                self._rotation.popleft()
+                if self._waiting[client] > 1:
+                    self._rotation.append(client)
+                return True
+            finally:
+                self._waiting[client] -= 1
+                if self._waiting[client] <= 0:
+                    del self._waiting[client]
+                    try:
+                        self._rotation.remove(client)
+                    except ValueError:
+                        pass
+                self._cond.notify_all()
+
+    def release(self, client: str) -> None:
+        """Return one slot to the pool."""
+        with self._cond:
+            self._active = max(0, self._active - 1)
+            self._cond.notify_all()
+
+    @property
+    def active(self) -> int:
+        with self._cond:
+            return self._active

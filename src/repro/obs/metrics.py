@@ -25,6 +25,7 @@ is free when nobody is collecting.
 from __future__ import annotations
 
 import json
+import threading as _threading
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -107,6 +108,8 @@ METRIC_CONTRACT: Dict[str, Tuple[str, str]] = {
     "checkpoint.misses": (
         "counter", "analysis groups recomputed (absent or stale entry)"),
     "checkpoint.saves": ("counter", "checkpoint file writes"),
+    "checkpoint.torn_tail_recoveries": (
+        "counter", "checkpoints whose torn tail was recovered (SGN009)"),
     # -- STA engine -----------------------------------------------------
     "sta.runs": ("counter", "StaEngine.run invocations"),
     "sta.endpoints": ("counter", "endpoints with a computed slack"),
@@ -130,6 +133,25 @@ METRIC_CONTRACT: Dict[str, Tuple[str, str]] = {
         "counter", "tasks that failed after all attempts"),
     "exec.task_seconds": (
         "histogram", "wall-clock seconds per supervised task (all attempts)"),
+    "exec.interrupted": (
+        "counter", "batches aborted cleanly by a stop/drain event"),
+    # -- batch merge service (repro.serve) ------------------------------
+    "serve.jobs_submitted": ("counter", "jobs admitted and acknowledged"),
+    "serve.jobs_rejected": (
+        "counter", "submissions refused by admission control (SRV codes)"),
+    "serve.jobs_completed": ("counter", "jobs that reached done"),
+    "serve.jobs_failed": ("counter", "jobs that reached failed"),
+    "serve.jobs_cancelled": ("counter", "jobs that reached cancelled"),
+    "serve.jobs_resumed": (
+        "counter", "in-flight jobs re-enqueued after a server restart"),
+    "serve.job_retries": ("counter", "job run attempts retried (SRV008)"),
+    "serve.journal_appends": ("counter", "job journal records fsynced"),
+    "serve.journal_torn_records": (
+        "counter", "journal records dropped by torn-tail recovery"),
+    "serve.queue_depth": ("gauge", "jobs queued or running right now"),
+    "serve.drains": ("counter", "graceful drains initiated"),
+    "serve.job_seconds": (
+        "histogram", "wall-clock seconds per job, submit to terminal"),
     # -- diagnostics / run-level ---------------------------------------
     "diagnostics.emitted": ("counter", "structured diagnostics recorded"),
     "run.wall_seconds": ("gauge", "wall-clock seconds of the whole run"),
@@ -355,10 +377,21 @@ def _prom_value(value: float) -> str:
 #: The ambient registry instrumentation sites fetch; no-op by default.
 _AMBIENT: NullMetrics = NullMetrics()
 
+#: Per-thread override of the process-global ambient registry.  The
+#: batch merge service runs jobs on concurrent threads, each with its
+#: own registry; without this, two jobs would interleave counts into
+#: whatever registry the main thread installed.
+_THREAD_AMBIENT = _threading.local()
+
 
 def get_metrics() -> NullMetrics:
-    """The ambient metrics registry (a no-op unless installed)."""
-    return _AMBIENT
+    """The ambient metrics registry (a no-op unless installed).
+
+    A thread-scoped registry (:func:`thread_collecting`) shadows the
+    process-global one on its thread only.
+    """
+    local = getattr(_THREAD_AMBIENT, "registry", None)
+    return local if local is not None else _AMBIENT
 
 
 def set_metrics(registry: Optional[NullMetrics]) -> NullMetrics:
@@ -374,9 +407,28 @@ def set_metrics(registry: Optional[NullMetrics]) -> NullMetrics:
 
 @contextmanager
 def collecting(registry: Optional[NullMetrics]):
-    """Scope-install a registry: ``with collecting(MetricsRegistry()):``."""
+    """Scope-install a registry: ``with collecting(MetricsRegistry()):``.
+
+    Installs globally *and* as this thread's override, so the scope wins
+    even inside a thread (or forked worker) that inherited a
+    thread-scoped registry.
+    """
     previous = set_metrics(registry)
+    prev_local = getattr(_THREAD_AMBIENT, "registry", None)
+    _THREAD_AMBIENT.registry = registry
     try:
-        yield _AMBIENT
+        yield get_metrics()
     finally:
         set_metrics(previous)
+        _THREAD_AMBIENT.registry = prev_local
+
+
+@contextmanager
+def thread_collecting(registry: Optional[NullMetrics]):
+    """Scope-install a registry for the *current thread* only."""
+    previous = getattr(_THREAD_AMBIENT, "registry", None)
+    _THREAD_AMBIENT.registry = registry
+    try:
+        yield get_metrics()
+    finally:
+        _THREAD_AMBIENT.registry = previous

@@ -1,0 +1,148 @@
+"""Stdlib JSON API over :class:`~repro.serve.service.MergeService`.
+
+No frameworks — a :class:`http.server.ThreadingHTTPServer` with one
+handler.  Routes:
+
+==============================================  =============================
+``POST /api/jobs``                              submit; 201 + acked status
+``GET  /api/jobs``                              list all jobs
+``GET  /api/jobs/<id>``                         one job's status
+``POST /api/jobs/<id>/cancel``                  request cancellation
+``GET  /api/jobs/<id>/artifacts``               artifact names (done jobs)
+``GET  /api/jobs/<id>/artifacts/<name>``        artifact content
+``GET  /api/health``                            liveness + queue snapshot
+==============================================  =============================
+
+Admission rejections surface as their mapped HTTP status with a stable
+body: ``{"error": {"code": "SRV001", "message": ...}}`` — the same
+``SRV0xx`` codes the diagnostics layer documents.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.errors import AdmissionError
+from repro.serve.service import MergeService
+
+#: submissions larger than this are refused before JSON parsing even
+#: starts; the service's own payload cap then applies to the decoded text
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServeAPIHandler(BaseHTTPRequestHandler):
+    """Thin JSON translation; all decisions live in MergeService."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> MergeService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass  # request logging would interleave with CLI output
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, code: str,
+                         message: str) -> None:
+        self._send_json(status,
+                        {"error": {"code": code, "message": message}})
+
+    def _read_body(self) -> Optional[object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise AdmissionError(
+                "SRV002", f"request body of {length} bytes exceeds "
+                f"{MAX_BODY_BYTES}", 413)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise AdmissionError("SRV009", "empty request body", 400)
+        try:
+            return json.loads(raw.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise AdmissionError(
+                "SRV009", f"request body is not JSON: {exc}", 400) from exc
+
+    def _discard_body(self) -> None:
+        """Drain an unused request body so keep-alive stays in sync."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if 0 < length <= MAX_BODY_BYTES:
+            self.rfile.read(length)
+
+    def _route(self) -> Tuple[str, ...]:
+        path = self.path.split("?", 1)[0]
+        return tuple(part for part in path.split("/") if part)
+
+    # -- verbs -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib casing
+        parts = self._route()
+        try:
+            if parts == ("api", "health"):
+                self._send_json(200, self.service.health())
+            elif parts == ("api", "jobs"):
+                self._send_json(200, {"jobs": self.service.list_jobs()})
+            elif len(parts) == 3 and parts[:2] == ("api", "jobs"):
+                self._send_json(200, self.service.status(parts[2]))
+            elif len(parts) == 4 and parts[:2] == ("api", "jobs") \
+                    and parts[3] == "artifacts":
+                status = self.service.status(parts[2])
+                self._send_json(200, {"artifacts": status["artifacts"]})
+            elif len(parts) == 5 and parts[:2] == ("api", "jobs") \
+                    and parts[3] == "artifacts":
+                target = self.service.artifact_path(parts[2], parts[4])
+                body = target.read_bytes()
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "application/octet-stream")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self._send_error_json(404, "NOTFOUND",
+                                      f"no route {self.path!r}")
+        except KeyError as exc:
+            self._send_error_json(404, "NOTFOUND",
+                                  f"unknown job or artifact: {exc}")
+        except AdmissionError as exc:
+            self._send_error_json(exc.http_status, exc.code, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib casing
+        parts = self._route()
+        try:
+            if parts == ("api", "jobs"):
+                payload = self._read_body()
+                status = self.service.submit(payload)
+                self._send_json(201, status)
+            elif len(parts) == 4 and parts[:2] == ("api", "jobs") \
+                    and parts[3] == "cancel":
+                self._discard_body()
+                self._send_json(200, self.service.cancel(parts[2]))
+            else:
+                self._send_error_json(404, "NOTFOUND",
+                                      f"no route {self.path!r}")
+        except KeyError as exc:
+            self._send_error_json(404, "NOTFOUND", f"unknown job: {exc}")
+        except AdmissionError as exc:
+            self._send_error_json(exc.http_status, exc.code, str(exc))
+
+
+def build_server(service: MergeService, host: str = "127.0.0.1",
+                 port: int = 0) -> ThreadingHTTPServer:
+    """Bind the API server (``port`` 0 picks an ephemeral port)."""
+    server = ThreadingHTTPServer((host, port), ServeAPIHandler)
+    server.service = service  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server

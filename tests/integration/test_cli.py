@@ -230,9 +230,9 @@ class TestCheckpointResume:
             env=env, capture_output=True, timeout=300)
         assert proc.returncode == -signal.SIGKILL
         # The first group survived the kill; the second never completed.
-        import json
+        from repro.checkpoint import MergeCheckpoint
 
-        groups = json.loads(ckpt.read_text())["groups"]
+        groups = MergeCheckpoint.open(ckpt).groups
         assert "a+b" in groups
         assert "c" not in groups
 
@@ -261,6 +261,27 @@ class TestCheckpointResume:
         captured = capsys.readouterr()
         assert "SGN008" in captured.err  # stale checkpoint discarded
         assert "[restored]" not in captured.out
+
+
+class TestArgumentErrorRouting:
+    """Exit-2 argument rejections belong on stderr, never stdout."""
+
+    @pytest.mark.parametrize("argv", [
+        ["--jobs", "0", "merge", "n.v", "a.sdc"],
+        ["--jobs", "-2", "merge", "n.v", "a.sdc"],
+        ["--jobs", "two", "merge", "n.v", "a.sdc"],
+        ["--jobs", "0", "report", "n.v", "a.sdc"],
+        ["serve", "--runners", "0"],
+        ["serve", "--max-queue", "0"],
+        ["serve", "--max-payload-bytes", "-1"],
+    ], ids=lambda argv: " ".join(argv[:4]))
+    def test_bad_count_arguments_exit_2_via_stderr(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        captured = capsys.readouterr()
+        assert "expected an integer >= 1" in captured.err
+        assert captured.out == ""
 
 
 class TestObservabilityFlags:

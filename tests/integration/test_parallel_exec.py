@@ -152,10 +152,12 @@ modes = [parse_mode(text, name)
 real_merge = mergeability.merge_modes
 
 def wait_for_ab_checkpoint():
+    input_hash = content_hash(netlist_text, *sdc_texts)
     deadline = time.monotonic() + 240
     while time.monotonic() < deadline:
         try:
-            if "a+b" in json.load(open(ckpt_path))["groups"]:
+            if "a+b" in MergeCheckpoint.open(ckpt_path,
+                                             input_hash=input_hash).groups:
                 return
         except Exception:
             pass
@@ -198,7 +200,8 @@ class TestParallelCheckpointResume:
             + [str(p) for p in paths] + [str(ckpt)],
             env=env, capture_output=True, timeout=300)
         assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
-        groups = json.loads(ckpt.read_text())["groups"]
+        from repro.checkpoint import MergeCheckpoint
+        groups = MergeCheckpoint.open(ckpt).groups
         assert "a+b" in groups
         assert "c" not in groups
 

@@ -1,0 +1,219 @@
+"""Integration tests for the batch merge service (in-process + HTTP)."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.sdc import write_mode
+from repro.serve.api import build_server
+from repro.serve.journal import JobJournal
+from repro.serve.service import MergeService, ServeConfig
+from repro.serve.smoke import _netlist_text, _reference_sdcs
+from repro.workloads.generator import ModeGroupSpec, WorkloadSpec, generate
+
+TERMINAL = ("done", "failed", "cancelled")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = WorkloadSpec(
+        name="serveit", seed=7,
+        groups=(ModeGroupSpec("g0", 2),
+                ModeGroupSpec("g1", 2, kind="scan", input_transition=0.5)))
+    generated = generate(spec)
+    netlist_text = _netlist_text(generated)
+    sdc_texts = {mode.name: write_mode(mode) for mode in generated.modes}
+    return netlist_text, sdc_texts
+
+
+@pytest.fixture(scope="module")
+def reference(workload):
+    return _reference_sdcs(*workload)
+
+
+def payload_for(workload):
+    netlist_text, sdc_texts = workload
+    return {"netlist": netlist_text, "modes": dict(sdc_texts)}
+
+
+def wait_terminal(service, job_id, timeout=180.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = service.status(job_id)
+        if status["state"] in TERMINAL:
+            return status
+        time.sleep(0.1)
+    raise AssertionError(
+        f"job {job_id} still {service.status(job_id)['state']!r}")
+
+
+class TestConcurrentJobs:
+    def test_two_jobs_multiplex_and_match_the_serial_reference(
+            self, tmp_path, workload, reference):
+        service = MergeService(tmp_path / "root",
+                               ServeConfig(runners=2, jobs=2), chaos=None)
+        service.start()
+        try:
+            first = service.submit(payload_for(workload))
+            second = service.submit(payload_for(workload))
+            assert first["id"] != second["id"]
+            for submitted in (first, second):
+                status = wait_terminal(service, submitted["id"])
+                assert status["state"] == "done", status["error"]
+                base = service.artifact_path(submitted["id"],
+                                             "merge_report.json").parent
+                for name, want in reference.items():
+                    assert (base / name).read_bytes() == want
+        finally:
+            service.drain()
+
+    def test_journal_replays_to_the_same_terminal_states(
+            self, tmp_path, workload):
+        root = tmp_path / "root"
+        service = MergeService(root, ServeConfig(runners=1, jobs=1),
+                               chaos=None)
+        service.start()
+        try:
+            submitted = service.submit(payload_for(workload))
+            wait_terminal(service, submitted["id"])
+        finally:
+            service.drain()
+        # a fresh service sees the same state machine, strictly legal
+        from repro.serve.jobs import replay
+
+        records, torn = JobJournal(root / "journal.jsonl").recover()
+        assert torn == 0
+        jobs = replay(records, root, strict=True)
+        assert jobs[submitted["id"]].state == "done"
+
+
+class TestAdmission:
+    def test_queue_full_rejects_with_srv001(self, tmp_path, workload):
+        # no runners started: submissions stay pending
+        service = MergeService(tmp_path / "root",
+                               ServeConfig(max_queue=1), chaos=None)
+        service.submit(payload_for(workload))
+        with pytest.raises(AdmissionError) as err:
+            service.submit(payload_for(workload))
+        assert err.value.code == "SRV001"
+        assert err.value.http_status == 429
+
+    def test_draining_rejects_with_srv006(self, tmp_path, workload):
+        service = MergeService(tmp_path / "root", ServeConfig(),
+                               chaos=None)
+        service.start()
+        service.drain()
+        with pytest.raises(AdmissionError) as err:
+            service.submit(payload_for(workload))
+        assert err.value.code == "SRV006"
+        assert err.value.http_status == 503
+
+    def test_cancel_queued_job(self, tmp_path, workload):
+        service = MergeService(tmp_path / "root", ServeConfig(),
+                               chaos=None)
+        submitted = service.submit(payload_for(workload))
+        status = service.cancel(submitted["id"])
+        assert status["state"] == "cancelled"
+        records, _ = JobJournal(
+            tmp_path / "root" / "journal.jsonl").recover()
+        assert [r["event"] for r in records
+                if r.get("job") == submitted["id"]] \
+            == ["submit", "cancel"]
+
+
+class TestDrainResume:
+    def test_drained_jobs_resume_on_the_next_start(
+            self, tmp_path, workload, reference):
+        root = tmp_path / "root"
+        first = MergeService(root, ServeConfig(runners=1, jobs=1),
+                             chaos=None)
+        submitted = first.submit(payload_for(workload))
+        first.start()   # runner may or may not pick it up before...
+        first.drain()   # ...the drain interrupts it
+        state = first.status(submitted["id"])["state"]
+        assert state != "failed"
+
+        second = MergeService(root, ServeConfig(runners=1, jobs=1),
+                              chaos=None)
+        second.start()
+        try:
+            status = wait_terminal(second, submitted["id"])
+            assert status["state"] == "done", status["error"]
+            base = second.artifact_path(submitted["id"],
+                                        "merge_report.json").parent
+            for name, want in reference.items():
+                assert (base / name).read_bytes() == want
+        finally:
+            second.drain()
+
+
+class TestHTTPAPI:
+    @pytest.fixture
+    def server(self, tmp_path):
+        service = MergeService(tmp_path / "root",
+                               ServeConfig(runners=1, jobs=1,
+                                           max_payload_bytes=200_000),
+                               chaos=None)
+        service.start()
+        httpd = build_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        yield service, f"http://{host}:{port}"
+        httpd.shutdown()
+        httpd.server_close()
+        service.drain()
+
+    @staticmethod
+    def call(url, payload=None):
+        data = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            url, data=data, method="POST" if data is not None else "GET")
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read() or b"{}")
+
+    def test_submit_poll_artifacts(self, server, workload, reference):
+        service, base = server
+        status, body = self.call(f"{base}/api/jobs", payload_for(workload))
+        assert status == 201 and body["state"] == "queued"
+        job_id = body["id"]
+        wait_terminal(service, job_id)
+        status, body = self.call(f"{base}/api/jobs/{job_id}")
+        assert status == 200 and body["state"] == "done"
+        status, body = self.call(f"{base}/api/jobs/{job_id}/artifacts")
+        assert status == 200
+        for name in reference:
+            assert name in body["artifacts"]
+            with urllib.request.urlopen(
+                    f"{base}/api/jobs/{job_id}/artifacts/{name}",
+                    timeout=30) as response:
+                assert response.read() == reference[name]
+        status, body = self.call(f"{base}/api/jobs")
+        assert status == 200 and len(body["jobs"]) == 1
+        status, body = self.call(f"{base}/api/health")
+        assert status == 200 and body["ok"] is True
+
+    def test_admission_errors_surface_with_stable_codes(self, server,
+                                                        workload):
+        _service, base = server
+        status, body = self.call(f"{base}/api/jobs", {"nope": 1})
+        assert status == 400 and body["error"]["code"] == "SRV009"
+        netlist_text, sdc_texts = workload
+        huge = {"netlist": netlist_text,
+                "modes": {"big": "x" * 300_000}}
+        status, body = self.call(f"{base}/api/jobs", huge)
+        assert status == 413 and body["error"]["code"] == "SRV002"
+        status, body = self.call(f"{base}/api/jobs/nope")
+        assert status == 404
+        status, body = self.call(f"{base}/api/jobs/nope/cancel", {})
+        assert status == 404

@@ -1,0 +1,133 @@
+"""Unit tests for the fair slot gate and the supervisor's stop/gate hooks."""
+
+import threading
+import time
+
+import pytest
+
+from repro.diagnostics import DiagnosticCollector
+from repro.errors import ExecInterrupted
+from repro.exec import FairSlotGate, Supervisor, SupervisorConfig
+from repro.exec.chaos import ChaosFault, ChaosPlan
+
+
+def square(x):
+    return x * x
+
+
+def codes(collector):
+    return [d.code for d in collector.diagnostics]
+
+
+class TestFairSlotGate:
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            FairSlotGate(0)
+
+    def test_acquire_release_counts(self):
+        gate = FairSlotGate(2)
+        assert gate.acquire("a", timeout=0.1)
+        assert gate.acquire("a", timeout=0.1)
+        assert gate.active == 2
+        assert not gate.acquire("a", timeout=0.05)
+        gate.release("a")
+        assert gate.acquire("a", timeout=0.1)
+        gate.release("a")
+        gate.release("a")
+        assert gate.active == 0
+
+    def test_contended_grants_alternate_between_clients(self):
+        gate = FairSlotGate(1)
+        stop = time.monotonic() + 5.0
+        done = threading.Barrier(2, timeout=10)
+
+        def worker(name, rounds):
+            for _ in range(rounds):
+                assert gate.acquire(name, timeout=5.0)
+                time.sleep(0.002)
+                gate.release(name)
+            done.wait()
+
+        threads = [threading.Thread(target=worker, args=(name, 8))
+                   for name in ("alpha", "beta")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=max(0.1, stop - time.monotonic()))
+        grants = gate.grants
+        # strict round-robin: while both clients are waiting, grants
+        # alternate — so no client ever holds 3 consecutive grants
+        # across the contended middle of the run
+        middle = grants[2:-2]
+        assert middle, "expected contention in the middle of the run"
+        runs = 1
+        worst = 1
+        for before, after in zip(middle, middle[1:]):
+            runs = runs + 1 if before == after else 1
+            worst = max(worst, runs)
+        assert worst <= 2, f"unfair grant sequence: {grants}"
+
+    def test_timeout_none_blocks_until_release(self):
+        gate = FairSlotGate(1)
+        assert gate.acquire("a", timeout=0.1)
+        acquired = []
+
+        def blocked():
+            acquired.append(gate.acquire("b"))
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired
+        gate.release("a")
+        thread.join(timeout=5)
+        assert acquired == [True]
+        gate.release("b")
+
+
+class TestSupervisorStopEvent:
+    def test_preset_stop_interrupts_before_work(self):
+        stop = threading.Event()
+        stop.set()
+        config = SupervisorConfig(jobs=1, use_env_chaos=False,
+                                  stop_event=stop)
+        collector = DiagnosticCollector()
+        sup = Supervisor(config, collector=collector)
+        with pytest.raises(ExecInterrupted):
+            sup.run(square, [(1,)])
+        assert "EXE008" in codes(collector)
+
+    def test_stop_interrupts_backoff_promptly(self):
+        # a task whose first attempt crash-faults forces a retry; a 30s
+        # backoff would stall an uninterruptible sleep past the deadline
+        stop = threading.Event()
+        config = SupervisorConfig(
+            jobs=1, use_env_chaos=False, stop_event=stop,
+            backoff_base=30.0, backoff_cap=30.0, max_attempts=3,
+            chaos=ChaosPlan(faults=[
+                ChaosFault(kind="crash", pattern="task:*")]))
+        sup = Supervisor(config, collector=DiagnosticCollector())
+        timer = threading.Timer(0.2, stop.set)
+        timer.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(ExecInterrupted):
+                sup.run(square, [(1,)])
+        finally:
+            timer.cancel()
+        assert time.monotonic() - start < 5.0
+
+    def test_gate_bounds_inflight_tasks(self):
+        gate = FairSlotGate(1)
+        peak = []
+
+        def tracked(x):
+            peak.append(gate.active)
+            return x * x
+
+        config = SupervisorConfig(jobs=1, use_env_chaos=False,
+                                  slot_gate=gate, gate_client="t")
+        outcomes = Supervisor(config).run(tracked, [(i,) for i in range(4)])
+        assert [o.value for o in outcomes] == [0, 1, 4, 9]
+        assert max(peak) == 1
+        assert gate.active == 0  # every slot released

@@ -1,0 +1,154 @@
+"""Unit tests for job records, the state machine, and admission."""
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.serve.jobs import (
+    JOB_EVENTS,
+    TERMINAL_STATES,
+    VALID_EVENTS,
+    InvalidTransition,
+    Job,
+    job_id_for,
+    replay,
+    validate_payload,
+)
+
+
+def _job(tmp_path, **kw):
+    return Job(id="job-0001-abc", seq=1, root=tmp_path, **kw)
+
+
+class TestStateMachine:
+    def test_happy_path(self, tmp_path):
+        job = _job(tmp_path)
+        for event in ("submit", "admit", "start", "finalize", "finish"):
+            job.apply(event)
+        assert job.state == "done"
+        assert job.terminal
+
+    def test_retry_loop(self, tmp_path):
+        job = _job(tmp_path)
+        for event in ("submit", "admit", "start", "retry", "start",
+                      "retry", "start", "fail"):
+            job.apply(event)
+        assert job.state == "failed"
+
+    def test_resume_re_enqueues(self, tmp_path):
+        job = _job(tmp_path)
+        for event in ("submit", "admit", "start", "resume", "admit",
+                      "start", "finalize", "finish"):
+            job.apply(event)
+        assert job.state == "done"
+
+    def test_terminal_states_accept_nothing(self, tmp_path):
+        paths = {
+            "finish": ("submit", "admit", "start", "finalize", "finish"),
+            "fail": ("submit", "admit", "start", "fail"),
+            "cancel": ("submit", "cancel"),
+        }
+        for closer, events in paths.items():
+            job = _job(tmp_path)
+            for event in events:
+                job.apply(event)
+            assert job.state in TERMINAL_STATES
+            for event in JOB_EVENTS:
+                with pytest.raises(InvalidTransition):
+                    job.apply(event)
+
+    def test_double_submit_rejected(self, tmp_path):
+        job = _job(tmp_path)
+        job.apply("submit")
+        with pytest.raises(InvalidTransition, match="illegal in state"):
+            job.apply("submit")
+
+    def test_every_event_has_a_target_state(self):
+        assert set(JOB_EVENTS.values()) - {"queued"} \
+            <= set(VALID_EVENTS) - {None}
+
+    def test_force_applies_and_records_anomaly(self, tmp_path):
+        job = _job(tmp_path)
+        job.apply("submit")
+        job.apply("admit")
+        job.apply("admit", force=True)  # the gap a failed append leaves
+        assert job.state == "admitted"
+        assert len(job.anomalies) == 1
+
+    def test_record_fields_land_on_the_job(self, tmp_path):
+        job = _job(tmp_path)
+        job.apply("submit", {"modes": ["a", "b"], "t": 10.0})
+        job.apply("admit")
+        job.apply("start", {"attempt": 1})
+        job.apply("retry", {"attempt": 1})
+        job.apply("start", {"attempt": 2})
+        job.apply("fail", {"error": "EXE001: boom"})
+        assert job.mode_names == ["a", "b"]
+        assert job.attempts == 2
+        assert job.error == "EXE001: boom"
+
+
+class TestReplay:
+    RECORDS = [
+        {"event": "submit", "job": "j1", "seq": 1, "modes": ["a"]},
+        {"event": "chaos", "key": "serve:ckpt", "attempt": 1},
+        {"event": "admit", "job": "j1"},
+        {"event": "start", "job": "j1", "attempt": 1},
+        {"event": "shutdown"},
+    ]
+
+    def test_rebuilds_job_table(self, tmp_path):
+        jobs = replay(self.RECORDS, tmp_path, strict=True)
+        assert set(jobs) == {"j1"}
+        assert jobs["j1"].state == "running"
+        assert jobs["j1"].attempts == 1
+
+    def test_strict_rejects_gaps(self, tmp_path):
+        records = self.RECORDS + [{"event": "start", "job": "j1",
+                                   "attempt": 2}]
+        with pytest.raises(InvalidTransition):
+            replay(records, tmp_path, strict=True)
+        jobs = replay(records, tmp_path)  # tolerant default
+        assert jobs["j1"].state == "running"
+        assert jobs["j1"].anomalies
+
+    def test_job_must_begin_with_submit(self, tmp_path):
+        with pytest.raises(InvalidTransition, match="not 'submit'"):
+            replay([{"event": "admit", "job": "ghost"}], tmp_path)
+
+
+class TestAdmission:
+    GOOD = {"netlist": "module top; endmodule",
+            "modes": {"a": "create_clock -period 1 [get_ports clk]"}}
+
+    def test_valid_payload_normalized(self):
+        out = validate_payload(dict(self.GOOD), max_payload_bytes=0)
+        assert out["netlist"] == self.GOOD["netlist"]
+        assert out["options"] == {}
+
+    @pytest.mark.parametrize("payload", [
+        "not a dict",
+        {},
+        {"netlist": "", "modes": {"a": "x"}},
+        {"netlist": "m", "modes": {}},
+        {"netlist": "m", "modes": {"a": 7}},
+        {"netlist": "m", "modes": {"": "x"}},
+        {"netlist": "m", "modes": {"a": "x"}, "options": []},
+    ])
+    def test_malformed_payloads_are_srv009(self, payload):
+        with pytest.raises(AdmissionError) as err:
+            validate_payload(payload, max_payload_bytes=0)
+        assert err.value.code == "SRV009"
+        assert err.value.http_status == 400
+
+    def test_payload_cap_is_srv002(self):
+        with pytest.raises(AdmissionError) as err:
+            validate_payload(dict(self.GOOD), max_payload_bytes=10)
+        assert err.value.code == "SRV002"
+        assert err.value.http_status == 413
+
+    def test_job_ids_are_deterministic(self):
+        one = job_id_for(3, "netlist", {"a": "x", "b": "y"})
+        two = job_id_for(3, "netlist", {"b": "y", "a": "x"})
+        assert one == two
+        assert one.startswith("job-0003-")
+        assert job_id_for(4, "netlist", {"a": "x", "b": "y"}) != one
