@@ -75,6 +75,16 @@ def netlist_fingerprint(netlist: Netlist) -> str:
     return content_hash(write_verilog(netlist))
 
 
+def mode_fingerprint(mode: Mode) -> str:
+    """Content hash of one mode: its name plus canonical SDC text.
+
+    The canonical (header-free) emission means a semantically identical
+    rewrite — reordered comments, whitespace — fingerprints the same,
+    so checkpoint and result-cache entries survive cosmetic edits.
+    """
+    return content_hash(mode.name, write_mode(mode, header=False))
+
+
 def serialize_outcome(outcome) -> dict:
     """One ``GroupOutcome`` as a checkpoint-ready JSON entry.
 
@@ -302,14 +312,8 @@ class MergeCheckpoint:
                    options) -> str:
         """Content hash that invalidates a cached group when its inputs
         (netlist, any member mode, or the merge tunables) change."""
-        opts_key = "|".join(str(v) for v in (
-            options.tolerance, options.max_iterations, options.validate,
-            getattr(options.policy, "value", options.policy),
-            options.budget_seconds, options.max_refinement_passes,
-            options.max_clock_graph_nodes, options.signoff_guard,
-            options.max_repair_attempts,
-        ))
-        parts = [netlist_fingerprint(netlist), opts_key]
+        parts = [netlist_fingerprint(netlist),
+                 options.result_fingerprint()]
         for mode in modes:
             parts.append(mode.name)
             parts.append(write_mode(mode, header=False))

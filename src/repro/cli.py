@@ -30,6 +30,21 @@ watchdog on each merge's refinement engines), ``--max-repair-attempts``
 and ``--checkpoint run.ckpt`` (save completed groups after every group;
 a re-run with the same inputs resumes instead of recomputing).
 
+``--cache DIR`` (on ``merge``, ``report`` and ``serve``) opens a
+persistent content-addressed result cache: pair verdicts and completed
+group merges are memoized by mode *content*, so a rerun — or a run
+where only one mode changed — recomputes only what that change touches.
+The cache is crash-safe and self-healing: corrupt or version-skewed
+entries are quarantined (``CAC002``) and recomputed, an unusable or
+full disk degrades the run to uncached (``CAC001``/``CAC005``), and
+output bytes are identical with a cold, warm, or corrupted cache.  The
+``cache`` verb inspects a cache root offline::
+
+    repro-merge cache stats  .repro-cache
+    repro-merge cache verify .repro-cache   # exit 1 if anything quarantined
+    repro-merge cache prune  .repro-cache --max-age 604800 --keep 1000
+    repro-merge cache clear  .repro-cache
+
 Observability (see ``docs/OBSERVABILITY.md``): ``--trace OUT`` records a
 hierarchical span tree of the run (``--trace-format`` selects JSONL or
 Chrome ``trace_event``), ``--metrics OUT`` writes the metrics registry
@@ -156,6 +171,20 @@ def _load_netlist(path: str, liberty: str,
         raise _HardFailure() from exc
 
 
+def _open_cache(args: argparse.Namespace,
+                collector: DiagnosticCollector):
+    """Open the ``--cache`` result cache, or None when not requested.
+
+    An unusable root (unwritable, not a directory) degrades the run to
+    uncached via the cache's own ``CAC001`` diagnostic — never exit 2.
+    """
+    if not getattr(args, "cache", ""):
+        return None
+    from repro.cache import ResultCache
+
+    return ResultCache.open(args.cache, collector=collector)
+
+
 def cmd_merge(args: argparse.Namespace, policy: DegradationPolicy,
               collector: DiagnosticCollector) -> int:
     netlist = _load_netlist(args.netlist, args.liberty, collector)
@@ -175,8 +204,11 @@ def cmd_merge(args: argparse.Namespace, policy: DegradationPolicy,
         checkpoint = MergeCheckpoint.open(
             args.checkpoint, input_hash=content_hash(*texts),
             collector=collector)
+    cache = _open_cache(args, collector)
     run = merge_all(netlist, modes, options, collector=collector,
-                    checkpoint=checkpoint, jobs=args.jobs)
+                    checkpoint=checkpoint, jobs=args.jobs, cache=cache)
+    if cache is not None:
+        cache.flush_stats()
     args._run = run  # for --report-html / --explain artifact writing
     print(format_merging_run(run))
     out_dir = Path(args.output)
@@ -244,9 +276,12 @@ def cmd_report(args: argparse.Namespace, policy: DegradationPolicy,
                collector: DiagnosticCollector) -> int:
     netlist = _load_netlist(args.netlist, args.liberty, collector)
     modes = _load_modes(args.sdc, policy, collector)
+    cache = _open_cache(args, collector)
     analysis = build_mergeability_graph(
         netlist, modes, MergeOptions(policy=policy), jobs=args.jobs,
-        collector=collector)
+        collector=collector, cache=cache)
+    if cache is not None:
+        cache.flush_stats()
     print(analysis.summary())
     for pair, reason in sorted(analysis.reasons.items(),
                                key=lambda kv: sorted(kv[0])):
@@ -315,6 +350,7 @@ def cmd_serve(args: argparse.Namespace, policy: DegradationPolicy,
         max_retries=max(0, args.max_retries),
         job_budget_seconds=args.job_budget_seconds,
         policy=policy,
+        cache_root=args.cache or None,
     )
     service = MergeService(args.root, config, collector=collector)
     service.start()
@@ -341,6 +377,39 @@ def cmd_serve(args: argparse.Namespace, policy: DegradationPolicy,
         server.server_close()
         service.drain()
         print("repro-serve drained", flush=True)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace, policy: DegradationPolicy,
+              collector: DiagnosticCollector) -> int:
+    """Inspect or maintain a result-cache root offline.
+
+    Exit-code contract: ``stats``/``prune``/``clear`` exit 0 on
+    success; ``verify`` exits 1 when any entry had to be quarantined
+    (scripts can gate on cache health); an unusable root exits 2.
+    """
+    from repro.cache import ResultCache
+
+    cache = ResultCache.open(args.root, collector=collector)
+    if not cache.enabled:
+        print(f"cache root {args.root} is unusable", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        for key, value in sorted(cache.stats().items()):
+            print(f"{key}: {value}")
+        return 0
+    if args.action == "verify":
+        report = cache.verify()
+        print(f"checked {report['checked']} entr(ies), "
+              f"quarantined {report['quarantined']}")
+        return 1 if report["quarantined"] else 0
+    if args.action == "prune":
+        report = cache.prune(max_age_seconds=args.max_age, keep=args.keep)
+        print(f"scanned {report['scanned']} entr(ies), "
+              f"evicted {report['evicted']}")
+        return 0
+    report = cache.clear()
+    print(f"removed {report['removed']} entr(ies)")
     return 0
 
 
@@ -421,6 +490,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint file: completed merge groups "
                               "are saved here after every group and "
                               "replayed on a re-run with unchanged inputs")
+    p_merge.add_argument("--cache", default="", metavar="DIR",
+                         help="persistent result-cache directory: pair "
+                              "verdicts and group merges are memoized by "
+                              "mode content and reused across runs "
+                              "(created if missing; corrupt entries are "
+                              "quarantined and recomputed)")
     p_merge.add_argument("--provenance", action="store_true",
                          help="print every merged-mode constraint's "
                               "lineage: source modes and merge rule")
@@ -440,6 +515,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--provenance", action="store_true",
                           help="also merge each group and print every "
                                "merged-mode constraint's lineage")
+    p_report.add_argument("--cache", default="", metavar="DIR",
+                          help="persistent result-cache directory "
+                               "(reuses pair verdicts across runs)")
     p_report.set_defaults(func=cmd_report)
 
     p_explain = sub.add_parser(
@@ -490,7 +568,29 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="S",
                          help="wall-clock watchdog budget per merge "
                               "attempt (default: unbounded)")
+    p_serve.add_argument("--cache", default="", metavar="DIR",
+                         help="persistent result-cache directory shared "
+                              "by every job this service runs")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain a result-cache directory")
+    p_cache.add_argument("action",
+                         choices=["stats", "verify", "prune", "clear"],
+                         help="stats: entry/byte/hit counters; verify: "
+                              "integrity-check every entry (exit 1 if any "
+                              "is quarantined); prune: evict old/excess "
+                              "entries; clear: remove everything")
+    p_cache.add_argument("root", help="cache directory (as passed to "
+                                      "--cache)")
+    p_cache.add_argument("--max-age", type=float, default=None,
+                         metavar="S",
+                         help="prune: evict entries older than S seconds")
+    p_cache.add_argument("--keep", type=int, default=None, metavar="N",
+                         help="prune: keep at most the N newest entries "
+                              "per space")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

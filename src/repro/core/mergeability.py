@@ -207,8 +207,8 @@ def _scan_payload_error(value) -> str:
 def build_mergeability_graph(netlist: Netlist, modes: Sequence[Mode],
                              options: Optional[MergeOptions] = None,
                              jobs: int = 1,
-                             collector: Optional[DiagnosticCollector] = None
-                             ) -> MergeabilityAnalysis:
+                             collector: Optional[DiagnosticCollector] = None,
+                             cache=None) -> MergeabilityAnalysis:
     """Pairwise mock merges -> mergeability graph -> greedy clique groups.
 
     ``jobs > 1`` distributes the O(#modes^2) mock merges over the
@@ -219,6 +219,13 @@ def build_mergeability_graph(netlist: Netlist, modes: Sequence[Mode],
     Falls back to serial on platforms without ``fork``.  Results are
     flushed in submission order, so the graph (and everything downstream)
     is identical at any job count.
+
+    ``cache`` (a :class:`~repro.cache.ResultCache`) memoizes per-pair
+    verdicts by content fingerprint: pairs with a verified entry skip
+    the mock merge entirely (``cache.pair_hits``), and only pairs that
+    actually ran count into ``mergeability.pairs_scanned`` — editing
+    one mode re-scans only its own pairs.  Engine-failure fallbacks are
+    never cached (they describe the run, not the content).
     """
     start = time.perf_counter()
     tracer = get_tracer()
@@ -237,31 +244,63 @@ def build_mergeability_graph(netlist: Netlist, modes: Sequence[Mode],
             ledger.frame("mergeability.scan",
                          f"scan:{len(mode_list)} modes",
                          modes=[m.name for m in mode_list]):
-        results = []
-        if pairs:
+        cached: Dict[Tuple[int, int], Tuple[bool, str]] = {}
+        pair_keys: Dict[Tuple[int, int], str] = {}
+        pair_labels: Dict[Tuple[int, int], str] = {}
+        if cache is not None and cache.enabled and pairs:
+            from repro.checkpoint import mode_fingerprint
+
+            space = cache.space(netlist, options or MergeOptions())
+            fingerprints = [mode_fingerprint(m) for m in mode_list]
+            items = []
+            for i, j in pairs:
+                pair_keys[(i, j)] = cache.pair_key(
+                    space, fingerprints[i], fingerprints[j])
+                pair_labels[(i, j)] = pair_subject(
+                    mode_list[i].name, mode_list[j].name)
+                items.append((pair_keys[(i, j)], pair_labels[(i, j)]))
+            for pair, payload in zip(pairs, cache.lookup_pairs(items)):
+                if payload is not None:
+                    cached[pair] = payload
+        pending = [pair for pair in pairs if pair not in cached]
+
+        computed: Dict[Tuple[int, int], Tuple[int, int, bool, str]] = {}
+        fresh: List[Tuple[str, str, bool, str]] = []
+        if pending:
             supervisor = Supervisor(
                 _engine_config(options or MergeOptions(), jobs,
                                propagate=False),
                 collector=collector)
             keys = ["scan:" + "+".join(sorted((mode_list[i].name,
                                                mode_list[j].name)))
-                    for i, j in pairs]
+                    for i, j in pending]
             outcomes = supervisor.run(
-                _pool_check, [(pair,) for pair in pairs], keys=keys,
+                _pool_check, [(pair,) for pair in pending], keys=keys,
                 validate=_scan_payload_error,
                 initializer=_pool_init,
                 initargs=(netlist, mode_list, options),
                 label="mergeability.scan")
-            for outcome, (i, j) in zip(outcomes, pairs):
+            for outcome, (i, j) in zip(outcomes, pending):
                 if outcome.ok:
-                    results.append(tuple(outcome.value))
+                    computed[(i, j)] = tuple(outcome.value)
+                    if (i, j) in pair_keys:
+                        fresh.append((pair_keys[(i, j)],
+                                      pair_labels[(i, j)],
+                                      outcome.value[2],
+                                      outcome.value[3]))
                 else:
                     # An engine failure must never escape the scan: an
                     # unanswerable pair is conservatively non-mergeable.
-                    results.append((i, j, False,
-                                    f"mergeability check failed: "
-                                    f"{outcome.error}"))
+                    computed[(i, j)] = (i, j, False,
+                                        f"mergeability check failed: "
+                                        f"{outcome.error}")
+        metrics.inc("mergeability.pairs_scanned", len(pending))
+        if fresh and cache is not None:
+            cache.store_pairs(fresh)
 
+        results = [(i, j) + tuple(cached[(i, j)])
+                   if (i, j) in cached else computed[(i, j)]
+                   for i, j in pairs]
         for i, j, ok, reason in results:
             name_i, name_j = mode_list[i].name, mode_list[j].name
             if ok:
@@ -645,7 +684,7 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
               analysis: Optional[MergeabilityAnalysis] = None,
               collector: Optional[DiagnosticCollector] = None,
               checkpoint: Optional["MergeCheckpoint"] = None,
-              jobs: int = 1) -> MergingRun:
+              jobs: int = 1, cache=None) -> MergingRun:
     """The end-to-end flow: analyze mergeability, then merge every group.
 
     A group whose full merge fails (rare: pairwise mergeability is not
@@ -674,7 +713,18 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
     ``checkpoint`` (a :class:`~repro.checkpoint.MergeCheckpoint`) makes
     the run resumable: every completed analysis group is serialized
     immediately, and groups whose content hash still matches are
-    replayed from the file instead of recomputed.
+    replayed from the file instead of recomputed.  A checkpoint save
+    that fails with an :class:`OSError` (full disk) degrades the run to
+    unpersisted (``CAC005``) instead of crashing it.
+
+    ``cache`` (a :class:`~repro.cache.ResultCache`) memoizes completed
+    group merges *across* runs, keyed by mode content: a group whose
+    sorted mode fingerprints match a verified cache entry is restored
+    (``restored=True``, ``CAC006``, decision kind ``cache.hit``)
+    without recomputation, and — when a checkpoint is also open — is
+    recorded straight into it so the two layers compose.  Only
+    cleanly-computed groups are stored; engine-failure demotions are
+    never cached.
 
     ``jobs > 1`` distributes the independent group merges (and, when the
     analysis is built here, the pairwise scan) over the supervised
@@ -699,7 +749,8 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
     start = time.perf_counter()
     if analysis is None:
         analysis = build_mergeability_graph(netlist, modes, opts,
-                                            jobs=jobs, collector=sink)
+                                            jobs=jobs, collector=sink,
+                                            cache=cache)
     by_name = {mode.name: mode for mode in modes}
     run = MergingRun(analysis=analysis)
 
@@ -722,6 +773,7 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
     )
 
     from repro.checkpoint import MergeCheckpoint as _Checkpoint
+    from repro.checkpoint import mode_fingerprint, serialize_outcome
 
     tracer = get_tracer()
     metrics = get_metrics()
@@ -732,6 +784,13 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
         # cursor only advances over a group whose work is done, so the
         # outcome/diagnostic/decision sequence is identical at any job
         # count and any completion order.
+        use_cache = cache is not None and cache.enabled
+        cache_space = ""
+        mode_fps: Dict[str, str] = {}
+        if use_cache:
+            cache_space = cache.space(netlist, group_opts)
+            mode_fps = {name: mode_fingerprint(mode)
+                        for name, mode in by_name.items()}
         plans: List[dict] = []
         for group in analysis.groups:
             names = list(group)
@@ -741,11 +800,54 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
                 group_hash = checkpoint.group_hash(
                     netlist, [by_name[n] for n in names], group_opts)
                 entry = checkpoint.lookup("+".join(names), group_hash)
+            cache_key = ""
+            cache_entry = None
+            if use_cache:
+                cache_key = cache.group_key(
+                    cache_space, [mode_fps[n] for n in names])
+                if entry is None:
+                    # The checkpoint already replays this group; only
+                    # consult the cross-run cache when it does not.
+                    cache_entry = cache.lookup_group(
+                        cache_key, group_subject(names), modes=names)
             plans.append({"names": names, "key": "+".join(names),
                           "hash": group_hash, "entry": entry,
+                          "cache_key": cache_key,
+                          "cache_entry": cache_entry,
                           "outcome": None, "done": False})
-        pending = [plan for plan in plans if plan["entry"] is None]
+        pending = [plan for plan in plans
+                   if plan["entry"] is None and plan["cache_entry"] is None]
         state = {"cursor": 0, "diag_cursor": len(sink.diagnostics)}
+        ckpt_state = {"down": False}
+
+        def save_checkpoint() -> None:
+            # A full disk (ENOSPC) mid-run must degrade to an
+            # unpersisted checkpoint, never a traceback.
+            if checkpoint is None or ckpt_state["down"]:
+                return
+            try:
+                checkpoint.save()
+            except OSError as exc:
+                ckpt_state["down"] = True
+                sink.report(
+                    "CAC005",
+                    f"checkpoint save failed ({exc}); this run's groups "
+                    f"will recompute on a resumed run",
+                    severity=Severity.WARNING,
+                    source=str(checkpoint.path))
+
+        def persist(plan: dict, outcomes_serialized,
+                    diagnostics_serialized, store_cache: bool) -> None:
+            """Record one finished group into the resume layers."""
+            if checkpoint is not None:
+                checkpoint.record_serialized(
+                    plan["key"], plan["hash"], outcomes_serialized,
+                    diagnostics_serialized)
+                save_checkpoint()
+            if store_cache and use_cache and plan["cache_key"]:
+                cache.store_group(
+                    plan["cache_key"], group_subject(plan["names"]),
+                    outcomes_serialized, diagnostics_serialized)
 
         def restore(plan: dict) -> None:
             names = plan["names"]
@@ -773,6 +875,37 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
                     modes=names)
                 if tracer.enabled:
                     tracer.annotate(restored=True)
+
+        def restore_cached(plan: dict) -> None:
+            """Replay a group from the cross-run result cache.
+
+            The ``cache.hit`` decision was recorded at lookup time;
+            here the restored outcomes get the same frame/span shape a
+            checkpoint restore does, plus a ``CAC006`` diagnostic, and
+            are recorded through into the open checkpoint so a
+            subsequent resume replays them without the cache.
+            """
+            names = plan["names"]
+            entry = plan["cache_entry"]
+            with tracer.span(f"group:{'+'.join(names)}", modes=names), \
+                    ledger.frame("merge.group", group_subject(names),
+                                 modes=names):
+                for stored in entry["outcomes"]:
+                    o_names, o_result, o_error, o_repaired = \
+                        _Checkpoint.restore_outcome(stored)
+                    run.outcomes.append(GroupOutcome(
+                        o_names, o_result, error=o_error,
+                        repaired=o_repaired, restored=True))
+                sink.extend(_Checkpoint.restore_diagnostics(entry))
+                sink.report(
+                    "CAC006",
+                    f"group {{{', '.join(names)}}} restored from the "
+                    f"result cache",
+                    severity=Severity.INFO, source=plan["key"])
+                if tracer.enabled:
+                    tracer.annotate(restored=True, cached=True)
+            persist(plan, list(entry["outcomes"]),
+                    list(entry.get("diagnostics", [])), store_cache=False)
 
         def demote(plan: dict, task_outcome) -> List[GroupOutcome]:
             """A group whose engine task failed even after retries:
@@ -824,28 +957,31 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
                         run.outcomes.append(GroupOutcome(
                             o_names, o_result, error=o_error,
                             repaired=o_repaired))
-                if checkpoint is not None:
-                    checkpoint.record_serialized(
-                        key, plan["hash"], bundle["outcomes"],
-                        bundle["diagnostics"])
-                    checkpoint.save()
+                persist(plan, bundle["outcomes"], bundle["diagnostics"],
+                        store_cache=True)
                 return
             if task_outcome.ok:
                 produced = list(task_outcome.value)
                 run.outcomes.extend(produced)
             else:
                 produced = demote(plan, task_outcome)
-            if checkpoint is not None:
-                checkpoint.record(
-                    key, plan["hash"], produced,
-                    sink.diagnostics[state["diag_cursor"]:])
-                checkpoint.save()
+            if checkpoint is not None or (use_cache and task_outcome.ok):
+                serialized = [serialize_outcome(o) for o in produced]
+                diags = [d.to_dict() for d in
+                         sink.diagnostics[state["diag_cursor"]:]]
+                # Engine-failure demotions describe this run's
+                # environment, not the modes' content: checkpoint them
+                # (same-run resume) but never cache them across runs.
+                persist(plan, serialized, diags,
+                        store_cache=task_outcome.ok)
 
         def flush() -> None:
             while state["cursor"] < len(plans):
                 plan = plans[state["cursor"]]
                 if plan["entry"] is not None:
                     restore(plan)
+                elif plan["cache_entry"] is not None:
+                    restore_cached(plan)
                 elif plan["done"]:
                     apply(plan)
                 else:

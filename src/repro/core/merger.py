@@ -92,6 +92,23 @@ class MergeOptions:
     #: label); the serve scheduler sets it to the job id
     exec_gate_client: str = ""
 
+    def result_fingerprint(self) -> str:
+        """Stable key of every tunable that can change merge *results*.
+
+        The checkpoint group hash and the persistent result cache both
+        key on this, so the two stores invalidate identically.  The
+        ``exec_*`` knobs (and ``strict``, which ``merge_all`` coerces
+        per group) are deliberately excluded: they tune execution, not
+        output bytes.
+        """
+        return "|".join(str(v) for v in (
+            self.tolerance, self.max_iterations, self.validate,
+            getattr(self.policy, "value", self.policy),
+            self.budget_seconds, self.max_refinement_passes,
+            self.max_clock_graph_nodes, self.signoff_guard,
+            self.max_repair_attempts,
+        ))
+
     def watchdog(self) -> Optional[WatchdogBudget]:
         """A fresh armed budget for one merge call, or None when unset."""
         budget = WatchdogBudget(

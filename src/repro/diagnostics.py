@@ -69,6 +69,13 @@ break across releases:
 ``SRV007``   job cancelled by request
 ``SRV008``   job failed; bounded retry scheduled
 ``SRV009``   submission rejected: malformed payload (HTTP 400)
+``CAC001``   result cache disabled; the run continues uncached
+``CAC002``   corrupt/version-skewed cache entry quarantined, recomputed
+``CAC003``   stale cache lock reclaimed from a dead owner
+``CAC004``   cache lock held by a live process; writes skipped this run
+``CAC005``   cache/checkpoint write failed (ENOSPC etc.); result was
+             computed but not persisted
+``CAC006``   merge group restored from the result cache
 ===========  ==============================================================
 """
 
@@ -260,6 +267,17 @@ _CODE_HINTS = {
               "it ultimately fails",
     "SRV009": "fix the request body: netlist text plus a non-empty "
               "modes map of SDC texts",
+    "CAC001": "results are unaffected, only uncached; free disk space "
+              "or fix permissions on the cache root",
+    "CAC002": "no action needed; inspect <root>/quarantine, then "
+              "'repro-merge cache prune' to discard it",
+    "CAC003": "no action needed; the dead owner's lock was reclaimed",
+    "CAC004": "another run holds the cache lock; results are "
+              "unaffected, this run just did not persist new entries",
+    "CAC005": "check disk space on the cache/checkpoint path; the "
+              "result was recomputed, not lost",
+    "CAC006": "no action needed; delete the cache entry or run without "
+              "--cache to force a recompute",
 }
 
 

@@ -48,6 +48,18 @@ from typing import List, Optional, Sequence, Tuple
 #: The three fault kinds the supervisor must contain.
 FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "corrupt")
 
+#: Storage-fault kinds applied by the result cache (``repro.cache``) at
+#: its own strike points (``cache:store:pair``, ``cache:store:group``,
+#: ``cache:lock``): a bad-crc entry landing on disk, a truncated entry
+#: (writer died mid-write), and an advisory lock that behaves held by a
+#: live process.  The execution engine's :meth:`ChaosPlan.strike`
+#: ignores these kinds entirely.
+CACHE_FAULT_KINDS: Tuple[str, ...] = (
+    "cache-corrupt", "cache-torn", "cache-lockhold")
+
+#: Every kind :class:`ChaosFault` accepts.
+ALL_FAULT_KINDS: Tuple[str, ...] = FAULT_KINDS + CACHE_FAULT_KINDS
+
 #: Environment variable holding the ambient chaos spec.
 CHAOS_ENV = "REPRO_CHAOS"
 
@@ -101,9 +113,9 @@ class ChaosFault:
     seconds: float = 0.0
 
     def __post_init__(self):
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ValueError(f"unknown chaos fault kind {self.kind!r}; "
-                             f"expected one of {list(FAULT_KINDS)}")
+                             f"expected one of {list(ALL_FAULT_KINDS)}")
         if self.attempt < 1:
             raise ValueError("chaos fault attempt must be >= 1")
 
@@ -231,6 +243,10 @@ class ChaosPlan:
         """
         fault = self.fault_for(key, attempt)
         if fault is None:
+            return None
+        if fault.kind in CACHE_FAULT_KINDS:
+            # Cache storage faults are applied by repro.cache at its own
+            # strike points; to the execution engine they are inert.
             return None
         if fault.kind == "crash":
             if in_process:

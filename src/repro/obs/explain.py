@@ -22,6 +22,11 @@ Query syntax (``explain(run, query)`` and ``repro-merge explain``):
 ``group:A+B``          decisions about one merge group (order-free)
 ``mode:A``             decisions that involve mode ``A``
 ``clock:CK@U7/A``      refinement decisions for clock ``CK`` at a node
+``cache:pair:A,B``     result-cache decisions for one pair (order-free)
+``cache:group:A+B``    result-cache decisions for one group (order-free)
+``cache:hit``          cache decisions by fate: ``hit`` / ``miss`` /
+                       ``quarantined`` / ``degraded`` (bare ``cache:``
+                       matches every cache decision)
 ``constraint:<text>``  decisions whose subject/evidence mention the text
 ``kind:<kind>``        every decision of one declared kind
 ``code:SGN003``        diagnostics bridged into the ledger, by stable code
@@ -73,6 +78,14 @@ DECISION_KINDS: Dict[str, str] = {
     "merge.demotion": "mode(s) demoted from a group by fault recovery",
     "merge.budget": "a group degraded after exceeding a watchdog budget",
     "checkpoint.restore": "a group replayed from a checkpoint",
+    # -- result cache (repro.cache) ------------------------------------
+    "cache.hit": "a pair verdict or group result restored from the "
+                 "result cache",
+    "cache.miss": "a result-cache lookup that found no valid entry",
+    "cache.quarantined": "a corrupt or version-skewed cache entry "
+                         "quarantined and recomputed",
+    "cache.degraded": "the result cache degraded: lock contention or "
+                      "disabled after repeated write failures",
     # -- execution engine ----------------------------------------------
     "exec.task": "a supervised task recovered from faults or was demoted",
     "exec.retry": "one task attempt retried after an infrastructure fault",
@@ -375,6 +388,8 @@ def find_decisions(decisions: Sequence[Decision],
     if selector in ("pair", "group", "clock", "code", "pin", "case"):
         subject = _canonical_subject(selector, value)
         return [d for d in decisions if d.subject == subject]
+    if selector == "cache":
+        return _find_cache_decisions(decisions, value)
     if selector == "constraint":
         needle = value
         return [d for d in decisions
@@ -385,6 +400,31 @@ def find_decisions(decisions: Sequence[Decision],
     return [d for d in decisions
             if needle in d.subject or needle in d.verdict
             or any(needle in line for line in d.evidence)]
+
+
+def _find_cache_decisions(decisions: Sequence[Decision],
+                          value: str) -> List[Decision]:
+    """The ``cache:`` selector: hit/miss/quarantine decisions queryable
+    like ``pair:``/``group:``.
+
+    ``cache:pair:A,B`` / ``cache:group:A+B`` match the canonical cache
+    subject for that pair/group; ``cache:hit`` (miss / quarantined /
+    degraded) matches by fate; anything else — including the empty
+    value — substring-filters over all ``cache.*`` decisions.
+    """
+    pool = [d for d in decisions if d.kind.startswith("cache.")]
+    inner_selector, inner_value = _split_query(value)
+    if inner_selector in ("pair", "group"):
+        subject = "cache:" + _canonical_subject(inner_selector,
+                                                inner_value)
+        return [d for d in pool if d.subject == subject]
+    if value in ("hit", "miss", "quarantined", "degraded"):
+        return [d for d in pool if d.kind == f"cache.{value}"]
+    if not value:
+        return pool
+    return [d for d in pool
+            if value in d.subject or value in d.verdict
+            or any(value in line for line in d.evidence)]
 
 
 def _involves_mode(decision: Decision, name: str) -> bool:

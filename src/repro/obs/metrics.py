@@ -49,7 +49,9 @@ METRIC_CONTRACT: Dict[str, Tuple[str, str]] = {
     "parse.constraints": ("counter", "constraints parsed across all modes"),
     # -- mergeability analysis -----------------------------------------
     "mergeability.pairs_checked": (
-        "counter", "mode pairs mock-merged by the mergeability scan"),
+        "counter", "mode pairs the mergeability scan had to answer"),
+    "mergeability.pairs_scanned": (
+        "counter", "mode pairs actually mock-merged (cache misses)"),
     "mergeability.pairs_mergeable": (
         "counter", "mode pairs found mergeable"),
     "mergeability.groups": (
@@ -110,6 +112,29 @@ METRIC_CONTRACT: Dict[str, Tuple[str, str]] = {
     "checkpoint.saves": ("counter", "checkpoint file writes"),
     "checkpoint.torn_tail_recoveries": (
         "counter", "checkpoints whose torn tail was recovered (SGN009)"),
+    # -- result cache (repro.cache) -------------------------------------
+    "cache.pair_hits": (
+        "counter", "pair verdicts served from the result cache"),
+    "cache.pair_misses": (
+        "counter", "pair lookups that missed the result cache"),
+    "cache.group_hits": (
+        "counter", "group results restored from the result cache"),
+    "cache.group_misses": (
+        "counter", "group lookups that missed the result cache"),
+    "cache.stores": ("counter", "result-cache entries written durably"),
+    "cache.skipped_writes": (
+        "counter", "identical cache entries left untouched (mtime only)"),
+    "cache.quarantined": (
+        "counter", "corrupt or version-skewed entries quarantined (CAC002)"),
+    "cache.write_failures": (
+        "counter", "cache writes that failed (ENOSPC etc., CAC005)"),
+    "cache.disabled": (
+        "counter", "caches disabled mid-run after repeated faults (CAC001)"),
+    "cache.lock_takeovers": (
+        "counter", "stale cache locks reclaimed from dead owners (CAC003)"),
+    "cache.lock_contention": (
+        "counter", "cache lock waits that timed out; writes skipped "
+                   "(CAC004)"),
     # -- STA engine -----------------------------------------------------
     "sta.runs": ("counter", "StaEngine.run invocations"),
     "sta.endpoints": ("counter", "endpoints with a computed slack"),

@@ -45,7 +45,7 @@ from repro.diagnostics import (
     code_for_error,
 )
 from repro.errors import AdmissionError, ExecInterrupted
-from repro.exec.chaos import ChaosPlan
+from repro.exec.chaos import CACHE_FAULT_KINDS, ChaosPlan
 from repro.exec.gate import FairSlotGate
 from repro.netlist import read_verilog
 from repro.obs.explain import DecisionLedger, thread_explaining
@@ -84,6 +84,9 @@ class ServeConfig:
     backoff_cap: float = 5.0
     #: degradation policy jobs run under
     policy: Union[str, DegradationPolicy] = DegradationPolicy.LENIENT
+    #: result-cache directory shared by every job (None = uncached);
+    #: see :class:`repro.cache.ResultCache`
+    cache_root: Optional[Union[str, Path]] = None
 
 
 class _StopSignal:
@@ -131,6 +134,11 @@ class ServeChaos:
         fault = self.plan.fault_for(key, attempt)
         if fault is None:
             return
+        if fault.kind in CACHE_FAULT_KINDS:
+            # Storage faults are applied by the result cache at its own
+            # strike points; at service strike points they are inert.
+            self.counts[key] = attempt
+            return
         self.counts[key] = attempt
         self.journal.append("chaos", key=key, attempt=attempt,
                             kind=fault.kind)
@@ -166,12 +174,22 @@ class MergeService:
         self._draining = False
         self._runners: List[threading.Thread] = []
         self._seq = 0
+        #: shared cross-job result cache, opened by start()
+        self.cache = None
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
         """Recover the journal, resume interrupted jobs, start runners."""
         self.root.mkdir(parents=True, exist_ok=True)
+        if self.config.cache_root:
+            from repro.cache import ResultCache
+
+            # One cache shared by every runner thread and job; an
+            # unusable root degrades to uncached (CAC001), never down.
+            self.cache = ResultCache.open(
+                self.config.cache_root, collector=self.collector,
+                chaos=self.chaos.plan)
         records, torn = self.journal.recover()
         if torn:
             self.collector.report(
@@ -231,6 +249,8 @@ class MergeService:
         for thread in self._runners:
             thread.join(timeout=timeout)
         get_metrics().inc("serve.drains")
+        if self.cache is not None:
+            self.cache.flush_stats()
         try:
             self.journal.append("shutdown", draining=True)
         except JournalError:
@@ -517,7 +537,8 @@ class MergeService:
                 run = merge_all(netlist, modes, options,
                                 collector=job_collector,
                                 checkpoint=checkpoint,
-                                jobs=self.config.jobs)
+                                jobs=self.config.jobs,
+                                cache=self.cache)
         self.chaos.strike("serve:finalize")
         self._journal_progress("finalize", job)
         job.artifacts = self._write_artifacts(

@@ -1,0 +1,199 @@
+"""Fault injection against the incremental result cache.
+
+The cache's core invariant, asserted from every angle:
+
+    a corrupted, torn, locked, or unwritable cache NEVER changes the
+    merged output and NEVER crashes a run — it degrades to the uncached
+    pipeline, byte for byte.
+
+Covers the chaos kinds (``cache-corrupt``, ``cache-torn``,
+``cache-lockhold`` — inert for the execution engine, applied only at
+the cache's own strike points), full-disk degradation of both the
+checkpoint (``CAC005``) and the serve journal (``SRV003`` fails the
+submission closed), all through the real CLI / service surfaces.
+"""
+
+import errno
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.cli import main
+from repro.exec.chaos import CHAOS_ENV
+from repro.serve.service import MergeService, ServeConfig
+
+pytestmark = pytest.mark.faultinject
+
+
+def _merge(netlist, modes, out, cache, extra=()):
+    argv = ["merge", str(netlist), str(modes[0]), str(modes[1]),
+            "-o", str(out), "--cache", str(cache)]
+    return main(argv + list(extra))
+
+
+def _bytes(directory):
+    return {p.name: p.read_bytes() for p in sorted(directory.glob("*.sdc"))}
+
+
+@pytest.fixture
+def reference(cli_files, monkeypatch):
+    """The uncached, chaos-free output every degraded run must match."""
+    monkeypatch.delenv(CHAOS_ENV, raising=False)
+    tmp, netlist, mode_a, mode_b = cli_files
+    assert _merge(netlist, (mode_a, mode_b), tmp / "ref",
+                  tmp / "ref-cache") == 0
+    return _bytes(tmp / "ref")
+
+
+class TestChaosKinds:
+    def test_cache_corrupt_store_heals_on_warm_run(self, cli_files,
+                                                   monkeypatch, capsys,
+                                                   reference):
+        # The cold run lands a bad-crc group entry; the warm run must
+        # quarantine it (CAC002), recompute, and match the reference.
+        tmp, netlist, mode_a, mode_b = cli_files
+        croot = tmp / "cache"
+        monkeypatch.setenv(CHAOS_ENV, "cache-corrupt@cache:store:group@1")
+        assert _merge(netlist, (mode_a, mode_b), tmp / "cold", croot) == 0
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        assert _merge(netlist, (mode_a, mode_b), tmp / "warm", croot) == 1
+        err = capsys.readouterr().err
+        assert "CAC002" in err
+        assert _bytes(tmp / "warm") == reference
+        assert list((croot / "quarantine").glob("*.json"))
+
+    def test_cache_torn_store_heals_on_warm_run(self, cli_files,
+                                                monkeypatch, capsys,
+                                                reference):
+        # A torn write (crash mid-rename window) leaves half an entry at
+        # the final path — unparseable, quarantined, recomputed.
+        tmp, netlist, mode_a, mode_b = cli_files
+        croot = tmp / "cache"
+        monkeypatch.setenv(CHAOS_ENV, "cache-torn@cache:store:group@1")
+        assert _merge(netlist, (mode_a, mode_b), tmp / "cold", croot) == 0
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        assert _merge(netlist, (mode_a, mode_b), tmp / "warm", croot) == 1
+        assert "CAC002" in capsys.readouterr().err
+        assert _bytes(tmp / "warm") == reference
+
+    def test_cache_lockhold_skips_writes_never_blocks(self, cli_files,
+                                                      monkeypatch, capsys,
+                                                      reference):
+        # Every store attempt contends: the run completes with CAC004
+        # warnings, nothing is cached, and the output is unchanged.
+        tmp, netlist, mode_a, mode_b = cli_files
+        croot = tmp / "cache"
+        spec = ";".join(f"cache-lockhold@cache:lock@{a}"
+                        for a in range(1, 9))
+        monkeypatch.setenv(CHAOS_ENV, spec)
+        assert _merge(netlist, (mode_a, mode_b), tmp / "out", croot) == 1
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        assert "CAC004" in capsys.readouterr().err
+        assert _bytes(tmp / "out") == reference
+        stats = ResultCache.open(croot).stats()
+        assert stats["pair_entries"] == 0 and stats["group_entries"] == 0
+
+    def test_seeded_chaos_never_schedules_cache_kinds(self, monkeypatch):
+        # ``seed:N:p`` schedules engine faults only; the cache kinds
+        # fire solely from explicit clauses, so seeded CI rows cannot
+        # silently skew cache behaviour.
+        from repro.exec.chaos import CACHE_FAULT_KINDS, ChaosPlan
+        plan = ChaosPlan.from_spec("seed:11:0.9")
+        kinds = {fault.kind
+                 for key in ("group:A+B", "scan:A+B", "cache:lock",
+                             "cache:store:group")
+                 for attempt in range(1, 4)
+                 for fault in [plan.fault_for(key, attempt)]
+                 if fault is not None}
+        assert not (kinds & set(CACHE_FAULT_KINDS))
+
+
+class TestFullDisk:
+    def test_enospc_on_cache_store_degrades_to_uncached(self, cli_files,
+                                                        monkeypatch,
+                                                        capsys,
+                                                        reference):
+        # Every durable cache write fails with ENOSPC: each is reported
+        # as "computed but not cached" (CAC005) and the merged bytes
+        # are untouched.
+        import repro.cache as cache_mod
+        tmp, netlist, mode_a, mode_b = cli_files
+        real_replace = cache_mod.os.replace
+
+        def full_disk(src, dst):
+            raise OSError(errno.ENOSPC, "No space left on device", str(dst))
+
+        monkeypatch.setattr(cache_mod.os, "replace", full_disk)
+        assert _merge(netlist, (mode_a, mode_b), tmp / "out",
+                      tmp / "cache") == 1
+        err = capsys.readouterr().err
+        assert "CAC005" in err and "computed but not cached" in err
+        monkeypatch.setattr(cache_mod.os, "replace", real_replace)
+        assert _bytes(tmp / "out") == reference
+
+    def test_enospc_on_checkpoint_save_degrades_with_cac005(self, cli_files,
+                                                            monkeypatch,
+                                                            capsys,
+                                                            reference):
+        # The checkpoint journal hits a full disk mid-run: the merge
+        # still completes (groups just will not replay next time) and
+        # says so precisely.
+        from repro.checkpoint import MergeCheckpoint
+        tmp, netlist, mode_a, mode_b = cli_files
+
+        def full_disk(self):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(MergeCheckpoint, "save", full_disk)
+        assert _merge(netlist, (mode_a, mode_b), tmp / "out", tmp / "cache",
+                      extra=("--checkpoint", str(tmp / "run.ckpt"))) == 1
+        assert "CAC005" in capsys.readouterr().err
+        assert _bytes(tmp / "out") == reference
+
+    def test_enospc_on_journal_fails_submission_closed(self, tmp_path,
+                                                       monkeypatch):
+        # A journal append that cannot be made durable must reject the
+        # job with SRV003 — the client knows it was NOT accepted.
+        from repro.errors import AdmissionError
+        from tests.faultinject.conftest import MODE_A, MODE_B, NETLIST_V
+
+        service = MergeService(tmp_path / "root",
+                               ServeConfig(runners=1, jobs=1), chaos=None)
+        service.start()
+        try:
+            def full_disk():
+                raise OSError(errno.ENOSPC, "No space left on device")
+
+            monkeypatch.setattr(service.journal, "_flush", full_disk)
+            with pytest.raises(AdmissionError) as excinfo:
+                service.submit({"netlist": NETLIST_V,
+                                "modes": {"modeA": MODE_A,
+                                          "modeB": MODE_B}})
+            assert excinfo.value.code == "SRV003"
+            monkeypatch.undo()
+        finally:
+            service.drain()
+
+
+class TestQuarantineLedger:
+    def test_quarantined_entry_names_its_origin(self, cli_files, capsys,
+                                                monkeypatch):
+        # The quarantine file is the corrupted entry verbatim — an
+        # operator can inspect exactly what was rejected and why.
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        tmp, netlist, mode_a, mode_b = cli_files
+        croot = tmp / "cache"
+        assert _merge(netlist, (mode_a, mode_b), tmp / "cold", croot) == 0
+        victim = next((croot / "groups").glob("*.json"))
+        poisoned = victim.read_bytes()[:-20] + b'"}'
+        victim.write_bytes(poisoned)
+        assert _merge(netlist, (mode_a, mode_b), tmp / "warm", croot) == 1
+        capsys.readouterr()
+        moved = list((croot / "quarantine").glob("*.json"))
+        assert [p.read_bytes() for p in moved] == [poisoned]
+        assert moved[0].name == victim.name
+        # ... and the store self-healed: a fresh, valid entry replaced
+        # the poisoned one at the original path.
+        assert victim.read_bytes() != poisoned
+        assert ResultCache.open(croot).verify() == {"checked": 2,
+                                                    "quarantined": 0}

@@ -219,6 +219,65 @@ class TestSignoffRepairQueryable:
         assert chains and chains[0][-1].kind == "signoff.guard"
 
 
+class TestCacheDecisionsQueryable:
+    """A cold/warm cached run records cache.miss / cache.hit decisions
+    under the strict ledger, reachable through the ``cache:`` syntax."""
+
+    @pytest.fixture(scope="class")
+    def cached_runs(self, tmp_path_factory):
+        from repro.cache import ResultCache
+        from repro.exec.chaos import ChaosPlan
+        workload = generate(figure2_modes())
+        root = tmp_path_factory.mktemp("explain-cache") / "store"
+        cold_ledger = DecisionLedger(strict_kinds=True)
+        with explaining(cold_ledger):
+            merge_all(workload.netlist, workload.modes,
+                      cache=ResultCache.open(root, chaos=ChaosPlan()))
+        warm_ledger = DecisionLedger(strict_kinds=True)
+        with explaining(warm_ledger):
+            run = merge_all(workload.netlist, workload.modes,
+                            cache=ResultCache.open(root,
+                                                   chaos=ChaosPlan()))
+        return run, cold_ledger, warm_ledger
+
+    def test_strict_run_declares_cache_kinds(self, cached_runs):
+        run, cold_ledger, warm_ledger = cached_runs
+        # strict_kinds would have raised on an undeclared kind; the cold
+        # run must miss, the warm run must hit.
+        assert "cache.miss" in cold_ledger.kinds()
+        assert "cache.hit" in warm_ledger.kinds()
+        assert "cache.miss" not in warm_ledger.kinds()
+
+    def test_cache_fate_queries(self, cached_runs):
+        run, cold_ledger, warm_ledger = cached_runs
+        hits = explain(run, "cache:hit")
+        assert hits and all(c[-1].kind == "cache.hit" for c in hits)
+        assert explain(run, "cache:miss") == []
+        everything = explain(run, "cache:")
+        assert len(everything) >= len(hits)
+
+    def test_cache_pair_and_group_queries(self, cached_runs):
+        run, cold_ledger, warm_ledger = cached_runs
+        pair_hit = next(d for d in warm_ledger.by_kind("cache.hit")
+                        if d.subject.startswith("cache:pair:"))
+        names = pair_hit.subject[len("cache:pair:"):]
+        chains = explain(run, f"cache:pair:{names}")
+        assert chains and chains[0][-1].subject == pair_hit.subject
+        group_hit = next(d for d in warm_ledger.by_kind("cache.hit")
+                         if d.subject.startswith("cache:group:"))
+        members = group_hit.subject[len("cache:group:"):]
+        chains = explain(run, f"cache:group:{members}")
+        assert chains and chains[0][-1].subject == group_hit.subject
+
+    def test_cache_decisions_are_framed(self, cached_runs):
+        run, cold_ledger, warm_ledger = cached_runs
+        for ledger in (cold_ledger, warm_ledger):
+            for decision in ledger.records:
+                if decision.kind.startswith("cache."):
+                    chain = decision.chain()
+                    assert chain and chain[-1] is decision
+
+
 class TestDisabledPipelineRecordsNothing:
     def test_no_ambient_ledger_no_decisions(self, pipeline_netlist):
         modes = [parse_mode(TestSignoffRepairQueryable.MODE_B, "A"),

@@ -1,0 +1,373 @@
+"""Unit tests for the crash-safe result cache (``repro.cache``).
+
+Every degradation path is exercised directly at the store layer:
+integrity quarantine (corrupt / torn / version-skewed / misfiled
+entries), the advisory lock's stale-owner takeover and live-owner
+contention, ENOSPC write degradation, and the deterministic
+``cache-*`` chaos kinds.  The invariant throughout: a damaged or
+unusable cache changes *performance*, never results and never bytes.
+"""
+
+import errno
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cache import (
+    CACHE_KIND,
+    CACHE_SCHEMA_VERSION,
+    CacheLock,
+    ResultCache,
+)
+from repro.checkpoint import mode_fingerprint
+from repro.diagnostics import DiagnosticCollector
+from repro.exec.chaos import ALL_FAULT_KINDS, CACHE_FAULT_KINDS, ChaosPlan
+from repro.sdc import parse_mode
+
+
+def open_cache(tmp_path, **kwargs):
+    kwargs.setdefault("collector", DiagnosticCollector())
+    kwargs.setdefault("chaos", ChaosPlan())  # inert: no REPRO_CHAOS pickup
+    cache = ResultCache.open(tmp_path / "cache", **kwargs)
+    assert cache.enabled
+    return cache
+
+
+def codes(cache):
+    return [d.code for d in cache.collector.diagnostics]
+
+
+class TestKeys:
+    def test_pair_key_is_unordered(self):
+        assert ResultCache.pair_key("s", "a", "b") \
+            == ResultCache.pair_key("s", "b", "a")
+
+    def test_group_key_is_order_free(self):
+        assert ResultCache.group_key("s", ["a", "b", "c"]) \
+            == ResultCache.group_key("s", ["c", "a", "b"])
+
+    def test_mode_fingerprint_ignores_formatting(self):
+        a = parse_mode("create_clock -name CK -period 10 [get_ports clk]\n",
+                       "m")
+        b = parse_mode("# a comment\n"
+                       "create_clock   -name CK  -period 10.0 "
+                       "[get_ports clk]\n", "m")
+        assert mode_fingerprint(a) == mode_fingerprint(b)
+
+    def test_mode_fingerprint_sees_value_changes(self):
+        a = parse_mode("create_clock -name CK -period 10 [get_ports clk]\n",
+                       "m")
+        b = parse_mode("create_clock -name CK -period 11 [get_ports clk]\n",
+                       "m")
+        assert mode_fingerprint(a) != mode_fingerprint(b)
+
+
+class TestRoundTrip:
+    def test_pair_store_and_lookup(self, tmp_path):
+        cache = open_cache(tmp_path)
+        key = ResultCache.pair_key("s", "fa", "fb")
+        cache.store_pairs([(key, "pair:A,B", False, "blocked clock")])
+        assert cache.lookup_pairs([(key, "pair:A,B")]) \
+            == [(False, "blocked clock")]
+        assert cache.counters["stores"] == 1
+        assert cache.counters["pair_hits"] == 1
+
+    def test_group_store_and_lookup(self, tmp_path):
+        cache = open_cache(tmp_path)
+        key = ResultCache.group_key("s", ["fa", "fb"])
+        payload = {"outcomes": [{"mode_names": ["A", "B"]}],
+                   "diagnostics": []}
+        cache.store_group(key, "group:A+B", payload["outcomes"],
+                          payload["diagnostics"])
+        assert cache.lookup_group(key, "group:A+B") == payload
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = open_cache(tmp_path)
+        assert cache.lookup_pairs([("nope", "pair:A,B")]) == [None]
+        assert cache.lookup_group("nope", "group:A+B") is None
+        assert cache.counters["pair_misses"] == 1
+        assert cache.counters["group_misses"] == 1
+
+    def test_identical_restore_is_skipped_not_rewritten(self, tmp_path):
+        cache = open_cache(tmp_path)
+        key = ResultCache.pair_key("s", "fa", "fb")
+        cache.store_pairs([(key, "pair:A,B", True, "")])
+        cache.store_pairs([(key, "pair:A,B", True, "")])
+        assert cache.counters["stores"] == 1
+        assert cache.counters["skipped_writes"] == 1
+
+    def test_entries_carry_schema_version_and_valid_crc(self, tmp_path):
+        cache = open_cache(tmp_path)
+        key = ResultCache.pair_key("s", "fa", "fb")
+        cache.store_pairs([(key, "pair:A,B", True, "")])
+        entry = json.loads(
+            (tmp_path / "cache" / "pairs" / f"{key}.json").read_text())
+        assert entry["kind"] == CACHE_KIND
+        assert entry["schema_version"] == CACHE_SCHEMA_VERSION
+        assert entry["key"] == key
+        from repro.checkpoint import _record_crc
+        assert entry["crc"] == _record_crc(entry)
+
+
+class TestQuarantine:
+    def store_one(self, cache):
+        key = ResultCache.pair_key("s", "fa", "fb")
+        cache.store_pairs([(key, "pair:A,B", True, "")])
+        return key, cache.root / "pairs" / f"{key}.json"
+
+    def assert_quarantined(self, cache, key, path):
+        assert cache.lookup_pairs([(key, "pair:A,B")]) == [None]
+        assert not path.exists()
+        assert (cache.root / "quarantine" / path.name).exists()
+        assert cache.counters["quarantined"] == 1
+        assert "CAC002" in codes(cache)
+
+    def test_bit_flip_quarantines(self, tmp_path):
+        cache = open_cache(tmp_path)
+        key, path = self.store_one(cache)
+        path.write_text(path.read_text().replace('true', 'false'))
+        self.assert_quarantined(cache, key, path)
+
+    def test_torn_write_quarantines(self, tmp_path):
+        cache = open_cache(tmp_path)
+        key, path = self.store_one(cache)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        self.assert_quarantined(cache, key, path)
+
+    def test_schema_skew_quarantines(self, tmp_path):
+        cache = open_cache(tmp_path)
+        key, path = self.store_one(cache)
+        entry = json.loads(path.read_text())
+        entry["schema_version"] = CACHE_SCHEMA_VERSION + 1
+        from repro.checkpoint import _record_crc
+        entry.pop("crc")
+        entry["crc"] = _record_crc(entry)
+        path.write_text(json.dumps(entry))
+        self.assert_quarantined(cache, key, path)
+
+    def test_misfiled_entry_quarantines(self, tmp_path):
+        # A valid entry under the wrong file name must not be trusted.
+        cache = open_cache(tmp_path)
+        key, path = self.store_one(cache)
+        other = ResultCache.pair_key("s", "fx", "fy")
+        wrong = path.with_name(f"{other}.json")
+        os.replace(path, wrong)
+        assert cache.lookup_pairs([(other, "pair:X,Y")]) == [None]
+        assert not wrong.exists()
+        assert cache.counters["quarantined"] == 1
+
+    def test_verify_sweeps_and_counts(self, tmp_path):
+        cache = open_cache(tmp_path)
+        key, path = self.store_one(cache)
+        cache.store_group(ResultCache.group_key("s", ["fa"]), "group:A",
+                          [{"mode_names": ["A"]}], [])
+        path.write_text("garbage")
+        report = cache.verify()
+        assert report == {"checked": 2, "quarantined": 1}
+        # A second sweep sees only the surviving entry.
+        assert cache.verify() == {"checked": 1, "quarantined": 0}
+
+
+class TestLock:
+    def test_acquire_and_release(self, tmp_path):
+        lock = CacheLock(tmp_path / "l")
+        assert lock.acquire(0.1)
+        assert lock.last_outcome == "acquired"
+        lock.release()
+        assert not (tmp_path / "l").exists()
+
+    def test_live_owner_wins_bounded_wait(self, tmp_path):
+        first = CacheLock(tmp_path / "l")
+        assert first.acquire(0.1)
+        second = CacheLock(tmp_path / "l")
+        assert not second.acquire(0.1)
+        assert second.last_outcome == "contended"
+        first.release()
+
+    def test_dead_owner_is_taken_over(self, tmp_path):
+        # A pid that is certainly dead: spawn-and-reap a child.
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()
+        (tmp_path / "l").write_text(json.dumps(
+            {"pid": child.pid, "boot_id": ""}))
+        lock = CacheLock(tmp_path / "l")
+        assert lock.acquire(0.1)
+        assert lock.last_outcome == "takeover"
+        lock.release()
+
+    def test_foreign_boot_id_is_stale(self, tmp_path):
+        (tmp_path / "l").write_text(json.dumps(
+            {"pid": os.getpid(), "boot_id": "not-this-boot"}))
+        lock = CacheLock(tmp_path / "l")
+        assert lock.acquire(0.1)
+        assert lock.last_outcome == "takeover"
+        lock.release()
+
+    def test_garbage_lock_payload_is_stale(self, tmp_path):
+        (tmp_path / "l").write_text("{torn")
+        lock = CacheLock(tmp_path / "l")
+        assert lock.acquire(0.1)
+        lock.release()
+
+    def test_contended_cache_skips_writes_with_cac004(self, tmp_path):
+        cache = open_cache(tmp_path, lock_timeout=0.1)
+        holder = CacheLock(cache.root / "cache.lock")
+        assert holder.acquire(0.1)  # our live pid: genuinely contended
+        try:
+            cache.store_pairs([("k", "pair:A,B", True, "")])
+        finally:
+            holder.release()
+        assert cache.counters["stores"] == 0
+        assert "CAC004" in codes(cache)
+        assert cache.enabled  # degraded for the write, not disabled
+
+    def test_stale_lock_takeover_reports_cac003(self, tmp_path):
+        cache = open_cache(tmp_path, lock_timeout=0.1)
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()
+        (cache.root / "cache.lock").write_text(json.dumps(
+            {"pid": child.pid, "boot_id": ""}))
+        cache.store_pairs([("k", "pair:A,B", True, "")])
+        assert cache.counters["stores"] == 1
+        assert "CAC003" in codes(cache)
+
+
+class TestDiskFailure:
+    def test_unusable_root_disables_not_raises(self, tmp_path):
+        blocker = tmp_path / "afile"
+        blocker.write_text("")
+        collector = DiagnosticCollector()
+        cache = ResultCache.open(blocker, collector=collector,
+                                 chaos=ChaosPlan())
+        assert not cache.enabled
+        assert [d.code for d in collector.diagnostics] == ["CAC001"]
+        # Every surface degrades to a no-op, never an exception.
+        assert cache.lookup_pairs([("k", "pair:A,B")]) == [None]
+        assert cache.lookup_group("k", "group:A") is None
+        cache.store_pairs([("k", "pair:A,B", True, "")])
+        cache.store_group("k", "group:A", [], [])
+        cache.flush_stats()
+
+    def test_enospc_degrades_then_disables(self, tmp_path, monkeypatch):
+        cache = open_cache(tmp_path)
+
+        def full_disk(*args, **kwargs):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr("repro.cache.os.replace", full_disk)
+        for index in range(cache.max_write_failures):
+            cache.store_pairs([(f"k{index}", "pair:A,B", True, "")])
+        assert not cache.enabled
+        reported = codes(cache)
+        assert reported.count("CAC005") == cache.max_write_failures
+        assert "CAC001" in reported
+        assert cache.counters["stores"] == 0
+
+    def test_results_unaffected_by_enospc(self, tmp_path, monkeypatch):
+        cache = open_cache(tmp_path)
+        monkeypatch.setattr(
+            "repro.cache.os.replace",
+            lambda *a, **k: (_ for _ in ()).throw(
+                OSError(errno.ENOSPC, "full")))
+        cache.store_pairs([("k", "pair:A,B", True, "")])
+        # Nothing landed, so the lookup is an honest miss — not garbage.
+        assert cache.lookup_pairs([("k", "pair:A,B")]) == [None]
+
+
+class TestChaosKinds:
+    def test_cache_kinds_are_registered_and_parse(self):
+        for kind in CACHE_FAULT_KINDS:
+            assert kind in ALL_FAULT_KINDS
+            plan = ChaosPlan.from_spec(f"{kind}@cache:*@1")
+            assert plan.fault_for("cache:store:pair", 1).kind == kind
+
+    def test_engine_strike_ignores_cache_kinds(self):
+        plan = ChaosPlan.from_spec("cache-corrupt@*@1")
+        assert plan.strike("scan:a+b", 1, in_process=True) is None
+
+    def test_cache_corrupt_fault_lands_bad_crc(self, tmp_path):
+        plan = ChaosPlan.from_spec("cache-corrupt@cache:store:pair@1")
+        cache = open_cache(tmp_path, chaos=plan)
+        cache.store_pairs([("k", "pair:A,B", True, "")])
+        # The poisoned entry is detected on read and quarantined.
+        assert cache.lookup_pairs([("k", "pair:A,B")]) == [None]
+        assert cache.counters["quarantined"] == 1
+        # The next store (attempt 2) is clean; the entry heals.
+        cache.store_pairs([("k", "pair:A,B", True, "")])
+        assert cache.lookup_pairs([("k", "pair:A,B")]) == [(True, "")]
+
+    def test_cache_torn_fault_lands_truncated_file(self, tmp_path):
+        plan = ChaosPlan.from_spec("cache-torn@cache:store:pair@1")
+        cache = open_cache(tmp_path, chaos=plan)
+        cache.store_pairs([("k", "pair:A,B", True, "")])
+        path = cache.root / "pairs" / "k.json"
+        with pytest.raises(ValueError):
+            json.loads(path.read_text())
+        assert cache.lookup_pairs([("k", "pair:A,B")]) == [None]
+        assert cache.counters["quarantined"] == 1
+
+    def test_cache_lockhold_fault_skips_the_write(self, tmp_path):
+        plan = ChaosPlan.from_spec("cache-lockhold@cache:lock@1")
+        cache = open_cache(tmp_path, chaos=plan, lock_timeout=0.1)
+        cache.store_pairs([("k", "pair:A,B", True, "")])
+        assert cache.counters["stores"] == 0
+        assert "CAC004" in codes(cache)
+        # No lock file was actually planted: the next write succeeds.
+        cache.store_pairs([("k", "pair:A,B", True, "")])
+        assert cache.counters["stores"] == 1
+
+
+class TestMaintenance:
+    def fill(self, tmp_path):
+        cache = open_cache(tmp_path)
+        for index in range(3):
+            cache.store_pairs([(f"k{index}", f"pair:A,B{index}", True, "")])
+        cache.store_group("g0", "group:A+B", [{"mode_names": ["A", "B"]}],
+                          [])
+        return cache
+
+    def test_stats_counts_entries_and_persists_hits(self, tmp_path):
+        cache = self.fill(tmp_path)
+        cache.lookup_pairs([("k0", "pair:A,B0")])
+        stats = cache.stats()
+        assert stats["pair_entries"] == 3
+        assert stats["group_entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["pair_hits"] == 1
+        cache.flush_stats()
+        reopened = open_cache(tmp_path)
+        assert reopened.stats()["pair_hits"] == 1
+        assert reopened.stats()["stores"] == 4
+
+    def test_prune_by_keep(self, tmp_path):
+        cache = self.fill(tmp_path)
+        report = cache.prune(keep=1)
+        assert report["evicted"] == 2  # pairs beyond the newest one
+        assert cache.stats()["pair_entries"] == 1
+        assert cache.stats()["group_entries"] == 1
+
+    def test_prune_by_age_and_quarantine_emptied(self, tmp_path):
+        cache = self.fill(tmp_path)
+        path = cache.root / "pairs" / "k0.json"
+        old = 1_000_000_000
+        os.utime(path, (old, old))
+        path.write_text("garbage")
+        cache.lookup_pairs([("k0", "pair:A,B0")])  # -> quarantine
+        assert (cache.root / "quarantine" / "k0.json").exists()
+        report = cache.prune(max_age_seconds=3600)
+        assert report["evicted"] == 0  # the stale one is already gone
+        assert not list((cache.root / "quarantine").glob("*.json"))
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = self.fill(tmp_path)
+        cache.flush_stats()
+        report = cache.clear()
+        assert report["removed"] == 4
+        stats = cache.stats()
+        assert stats["pair_entries"] == 0
+        assert stats["group_entries"] == 0
+        assert stats["stores"] == 0  # stats.json removed too
