@@ -21,7 +21,9 @@ the pipeline uses — so :func:`write_bench_json` artifacts
 from __future__ import annotations
 
 import hashlib
+import json
 import os
+import platform
 import random
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -69,6 +71,23 @@ def bench_rng(site: str, default: int) -> random.Random:
     return random.Random(bench_seed(site, default))
 
 
+def bench_meta() -> Dict[str, object]:
+    """Run metadata embedded in every ``BENCH_*.json`` snapshot.
+
+    ``bench_diff`` warns when two snapshots disagree on these, and
+    ``repro.obs.trends`` marks the step as a comparability *break* —
+    a "regression" across a seed/scale/interpreter change is suspect,
+    not actionable.
+    """
+    return {
+        "bench_seed": BENCH_SEED or "default",
+        "bench_scale": BENCH_SCALE,
+        "python": platform.python_version(),
+        "jobs": int(os.environ.get("REPRO_BENCH_JOBS", "1") or 1),
+        "schema_version": 1,
+    }
+
+
 def write_bench_json(stem: str, directory: Optional[str] = None,
                      **gauges) -> Path:
     """Write ``BENCH_<stem>.json`` in the metrics-registry schema.
@@ -78,7 +97,9 @@ def write_bench_json(stem: str, directory: Optional[str] = None,
     headline numbers as ``bench.<stem>.<name>`` gauges, so all
     ``BENCH_*.json`` files validate against the same schema as
     ``repro-merge --metrics`` output and diff run-to-run with
-    ``python -m repro.obs.bench_diff``.
+    ``python -m repro.obs.bench_diff``.  A ``bench_meta`` block
+    (:func:`bench_meta`) records the run environment for the
+    comparability checks in ``bench_diff`` and ``repro.obs.trends``.
 
     ``directory`` defaults to ``REPRO_BENCH_DIR`` (or the working
     directory) so CI can route two runs of the same bench into separate
@@ -89,7 +110,9 @@ def write_bench_json(stem: str, directory: Optional[str] = None,
     for name, value in gauges.items():
         BENCH_REGISTRY.set_gauge(f"bench.{stem}.{name}", float(value))
     path = Path(directory) / f"BENCH_{stem}.json"
-    BENCH_REGISTRY.write(path, fmt="json")
+    record = BENCH_REGISTRY.to_dict()
+    record["bench_meta"] = bench_meta()
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -21,6 +21,7 @@ import pytest
 from repro.core import merge_all
 from repro.obs.explain import DecisionLedger, explaining, get_decisions
 from repro.obs.metrics import MetricsRegistry, collecting, get_metrics
+from repro.obs.profile import get_profiler
 from repro.obs.trace import Tracer, get_tracer, tracing
 from repro.workloads import figure2_modes, generate
 
@@ -51,14 +52,17 @@ def test_disabled_overhead_bound(benchmark, workload):
     null_tracer = get_tracer()
     null_metrics = get_metrics()
     null_ledger = get_decisions()
+    null_profiler = get_profiler()
     assert not null_tracer.enabled and not null_metrics.enabled \
-        and not null_ledger.enabled
+        and not null_ledger.enabled and not null_profiler.enabled
     n = 100_000
     start = time.perf_counter()
     for _ in range(n):
         with null_tracer.span("x"):
             null_metrics.inc("merge.runs")
             null_ledger.decide("mergeability.pair", "x")
+            if get_profiler().enabled:  # the hot-loop counter pattern
+                null_metrics.inc("profile.mock_merges")
     per_call = (time.perf_counter() - start) / n
 
     # 10x margin over the observed span count dwarfs any miscount of

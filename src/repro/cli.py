@@ -67,6 +67,18 @@ decisions into one reviewable file, and the ``explain`` verb queries
 the decision graph directly::
 
     repro-merge explain chip.v modeA.sdc modeB.sdc --query pair:modeA,modeB
+
+``--profile OUT.json`` wraps the run in the span-attributed profiler
+(``repro.obs.profile``): exclusive vs cumulative time per span, top-N
+functions per pipeline phase, hot-loop counters — written as a
+schema-versioned ``profile.json`` and folded into ``--report-html`` as
+a "Profile" section.  Under ``--jobs N`` each worker profiles its own
+tasks and the merged profile is deterministic.  ``bench-trends``
+aggregates historical ``BENCH_*.json`` snapshot directories into a
+self-contained trend report (see ``repro.obs.trends``)::
+
+    repro-merge bench-trends bench-2026-01 bench-2026-02 bench-2026-03 \\
+        -o trends.html --json trends.json
 """
 
 from __future__ import annotations
@@ -99,6 +111,7 @@ from repro.obs.explain import (
     set_decisions,
 )
 from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.profile import Profiler, set_profiler
 from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.sdc import Mode, parse_mode, write_mode
 
@@ -351,6 +364,7 @@ def cmd_serve(args: argparse.Namespace, policy: DegradationPolicy,
         job_budget_seconds=args.job_budget_seconds,
         policy=policy,
         cache_root=args.cache or None,
+        profile_jobs=args.profile_jobs,
     )
     service = MergeService(args.root, config, collector=collector)
     service.start()
@@ -377,6 +391,45 @@ def cmd_serve(args: argparse.Namespace, policy: DegradationPolicy,
         server.server_close()
         service.drain()
         print("repro-serve drained", flush=True)
+    return 0
+
+
+def cmd_bench_trends(args: argparse.Namespace, policy: DegradationPolicy,
+                     collector: DiagnosticCollector) -> int:
+    """Aggregate BENCH snapshot series into trends.html / trends.json.
+
+    Reporting, not gating: regressions are *marked* in the output, the
+    exit code only distinguishes success (0) from unusable inputs (2).
+    ``bench_diff`` remains the pairwise gate for CI.
+    """
+    from repro.obs import trends as trends_mod
+
+    paths = args.snapshots or trends_mod.discover_snapshots()
+    if len(paths) < 2:
+        print("bench-trends: need at least two snapshots (pass paths or "
+              "set REPRO_BENCH_DIR to a directory of snapshot "
+              "subdirectories)", file=sys.stderr)
+        return 2
+    try:
+        snapshots = [trends_mod.load_snapshot(path) for path in paths]
+        payload = trends_mod.build_trends(snapshots,
+                                          threshold_percent=args.threshold)
+        trends_mod.write_trends_html(args.output, payload)
+        print(f"wrote {args.output}")
+        if args.trends_json:
+            trends_mod.write_trends_json(args.trends_json, payload)
+            print(f"wrote {args.trends_json}")
+    except trends_mod.TrendsError as exc:
+        print(f"bench-trends: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"bench-trends: cannot write output: {exc}", file=sys.stderr)
+        return 2
+    summary = payload["summary"]
+    print(f"{summary['snapshots']} snapshot(s), {summary['metrics']} "
+          f"metric(s): {summary['regressions']} regression(s), "
+          f"{summary['improvements']} improvement(s) past "
+          f"{args.threshold:g}%")
     return 0
 
 
@@ -443,6 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a self-contained HTML run report "
                              "(trace + metrics + provenance + diagnostics "
                              "+ decision graph) to this file")
+    parser.add_argument("--profile", default="", metavar="OUT.JSON",
+                        help="profile the run and write a span-attributed "
+                             "profile (self/cumulative time per span, "
+                             "top functions per phase, hot-loop counters) "
+                             "to this file; implies trace and metrics "
+                             "collection")
     parser.add_argument("--jobs", type=_positive_int, default=1,
                         metavar="N",
                         help="worker processes for the mergeability scan "
@@ -571,7 +630,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache", default="", metavar="DIR",
                          help="persistent result-cache directory shared "
                               "by every job this service runs")
+    p_serve.add_argument("--profile-jobs", action="store_true",
+                         help="profile every job and write a per-job "
+                              "profile.json artifact (individual "
+                              "submissions can also opt in with "
+                              '{"options": {"profile": true}})')
     p_serve.set_defaults(func=cmd_serve)
+
+    p_trends = sub.add_parser(
+        "bench-trends",
+        help="aggregate BENCH_*.json snapshots into a trend report")
+    p_trends.add_argument("snapshots", nargs="*", metavar="SNAPSHOT",
+                          help="snapshot files or directories in series "
+                               "order (default: the sorted subdirectories "
+                               "of $REPRO_BENCH_DIR)")
+    p_trends.add_argument("-o", "--output", default="trends.html",
+                          metavar="OUT.HTML",
+                          help="self-contained HTML trend report "
+                               "(default trends.html)")
+    p_trends.add_argument("--json", dest="trends_json",
+                          default="trends.json", metavar="OUT.JSON",
+                          help="machine-readable trend series "
+                               "(default trends.json; '' skips it)")
+    p_trends.add_argument("--threshold", type=float, default=25.0,
+                          metavar="PCT",
+                          help="percent change marking a regression/"
+                               "improvement between adjacent snapshots "
+                               "(default 25)")
+    p_trends.set_defaults(func=cmd_bench_trends)
 
     p_cache = sub.add_parser(
         "cache",
@@ -603,7 +689,8 @@ def _write_diagnostics(path: str, collector: DiagnosticCollector) -> None:
         print(f"cannot write diagnostics to {path}: {exc}", file=sys.stderr)
 
 
-def _write_observability(args, tracer, metrics, ledger) -> None:
+def _write_observability(args, tracer, metrics, ledger,
+                         profiler=None) -> None:
     """Flush trace/metrics artifacts; export errors must not mask the run."""
     if tracer is not None and args.trace:
         try:
@@ -626,6 +713,19 @@ def _write_observability(args, tracer, metrics, ledger) -> None:
         except OSError as exc:
             print(f"cannot write decisions to {args.explain}: {exc}",
                   file=sys.stderr)
+    profile_payload = None
+    if profiler is not None:
+        import json as json_mod
+
+        profile_payload = profiler.export(tracer=tracer, metrics=metrics)
+        if getattr(args, "profile", ""):
+            try:
+                Path(args.profile).write_text(
+                    json_mod.dumps(profile_payload, indent=2) + "\n")
+                print(f"wrote {args.profile}")
+            except OSError as exc:
+                print(f"cannot write profile to {args.profile}: {exc}",
+                      file=sys.stderr)
     if args.report_html:
         from repro.obs.report_html import write_run_report
 
@@ -633,6 +733,7 @@ def _write_observability(args, tracer, metrics, ledger) -> None:
             write_run_report(
                 args.report_html, run=getattr(args, "_run", None),
                 tracer=tracer, metrics=metrics, decisions=ledger,
+                profile=profile_payload,
                 title=f"repro-merge {args.command}")
             print(f"wrote {args.report_html}")
         except OSError as exc:
@@ -646,17 +747,28 @@ def main(argv=None) -> int:
     policy = DegradationPolicy.coerce(args.policy)
     collector = DiagnosticCollector(policy)
     # The HTML report stitches every layer, so requesting it (like the
-    # explain verb) force-enables the whole stack for the run.
+    # explain verb) force-enables the whole stack for the run.  The
+    # profiler needs spans (phase attribution) and the metrics registry
+    # (hot-loop counters), so --profile force-enables both.
     want_all = bool(args.report_html) or args.command == "explain"
-    tracer = Tracer() if (args.trace or want_all) else None
-    metrics = MetricsRegistry() if (args.metrics or want_all) else None
+    want_profile = bool(getattr(args, "profile", ""))
+    tracer = Tracer() if (args.trace or want_all or want_profile) else None
+    metrics = MetricsRegistry() \
+        if (args.metrics or want_all or want_profile) else None
     ledger = DecisionLedger() \
         if (args.explain or want_all) else None
+    profiler = Profiler() if want_profile else None
+    if profiler is not None:
+        tracer.add_listener(profiler)
     previous_tracer = set_tracer(tracer) if tracer is not None else None
     previous_metrics = set_metrics(metrics) if metrics is not None else None
     previous_ledger = set_decisions(ledger) if ledger is not None else None
+    previous_profiler = set_profiler(profiler) \
+        if profiler is not None else None
     start = time.perf_counter()
     try:
+        if profiler is not None:
+            profiler.start()
         with get_tracer().span("run", command=args.command), \
                 get_decisions().frame("run", f"run:{args.command}",
                                       command=args.command):
@@ -673,6 +785,9 @@ def main(argv=None) -> int:
             metrics.set_gauge("run.wall_seconds",
                               time.perf_counter() - start)
     finally:
+        if profiler is not None:
+            profiler.stop()
+            set_profiler(previous_profiler)
         if tracer is not None:
             set_tracer(previous_tracer)
         if metrics is not None:
@@ -682,7 +797,7 @@ def main(argv=None) -> int:
     for diagnostic in collector:
         print(diagnostic.format(), file=sys.stderr)
     _write_diagnostics(args.diagnostics, collector)
-    _write_observability(args, tracer, metrics, ledger)
+    _write_observability(args, tracer, metrics, ledger, profiler=profiler)
     return code
 
 

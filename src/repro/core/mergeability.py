@@ -46,6 +46,7 @@ from repro.obs.explain import (
     pair_subject,
 )
 from repro.obs.metrics import get_metrics
+from repro.obs.profile import get_profiler
 from repro.obs.trace import get_tracer
 from repro.sdc.mode import Mode
 from repro.timing.clocks import ClockPropagation
@@ -107,6 +108,9 @@ def pair_mergeable(netlist: Netlist, mode_a: Mode, mode_b: Mode,
     designs like the paper's design A (95 modes, 4465 pairs).
     """
     opts = options or MergeOptions()
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("profile.mock_merges")
     # Mock merges must not pollute the decision ledger: the scan's own
     # pair verdicts are the queryable record, and the serial and pooled
     # paths must produce identical ledgers.
@@ -516,24 +520,48 @@ def _group_task(names):
     diagnostics, decision records and the metrics payload, for the
     parent to graft into its own ambient stack.
     """
+    from contextlib import ExitStack
+
     from repro.checkpoint import serialize_outcome
     from repro.obs.explain import DecisionLedger, explaining
     from repro.obs.metrics import MetricsRegistry, collecting
+    from repro.obs.profile import Profiler, get_profiler
+    from repro.obs.trace import Tracer, tracing
 
     ledger = DecisionLedger() if get_decisions().enabled else None
     registry = MetricsRegistry() if get_metrics().enabled else None
     sink = DiagnosticCollector()
-    with explaining(ledger), collecting(registry):
-        outcomes = run_merge_group(
-            _GROUP_STATE["netlist"], _GROUP_STATE["by_name"], list(names),
-            _GROUP_STATE["options"], sink)
-    return {
+    # The parent's profiler enabled-flag survives the fork (thread-local
+    # for the forking thread), but its cProfile session must not: the
+    # worker profiles its own task on a fresh tracer+profiler pair and
+    # ships the payload home for a deterministic merge.
+    profiler = Profiler() if get_profiler().enabled else None
+    prof_tracer = None
+    with ExitStack() as stack:
+        stack.enter_context(explaining(ledger))
+        stack.enter_context(collecting(registry))
+        if profiler is not None:
+            prof_tracer = Tracer()
+            prof_tracer.add_listener(profiler)
+            stack.enter_context(tracing(prof_tracer))
+            profiler.start()
+        try:
+            outcomes = run_merge_group(
+                _GROUP_STATE["netlist"], _GROUP_STATE["by_name"],
+                list(names), _GROUP_STATE["options"], sink)
+        finally:
+            if profiler is not None:
+                profiler.stop()
+    bundle = {
         "outcomes": [serialize_outcome(o) for o in outcomes],
         "diagnostics": [d.to_dict() for d in sink.diagnostics],
         "decisions": [d.to_dict() for d in ledger.records]
         if ledger is not None else [],
         "metrics": registry.to_dict() if registry is not None else None,
     }
+    if profiler is not None:
+        bundle["profile"] = profiler.to_payload(tracer=prof_tracer)
+    return bundle
 
 
 def _group_payload_error(value) -> str:
@@ -951,6 +979,9 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
                         for record in bundle["diagnostics"])
                     if metrics.enabled and bundle["metrics"]:
                         metrics.merge_payload(bundle["metrics"])
+                    profiler = get_profiler()
+                    if profiler.enabled and bundle.get("profile"):
+                        profiler.merge_payload(bundle["profile"])
                     for stored in bundle["outcomes"]:
                         o_names, o_result, o_error, o_repaired = \
                             _Checkpoint.restore_outcome(stored)
@@ -988,6 +1019,8 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
                     break
                 state["cursor"] += 1
                 state["diag_cursor"] = len(sink.diagnostics)
+                if opts.progress is not None:
+                    opts.progress(state["cursor"], len(plans))
 
         flush()  # leading restored groups
         if pending:

@@ -91,6 +91,11 @@ class MergeOptions:
     #: identity this run contends under at the slot gate ("" = batch
     #: label); the serve scheduler sets it to the job id
     exec_gate_client: str = ""
+    #: optional ``progress(done, total)`` callback ``merge_all`` invokes
+    #: after every analysis group flushed in analysis order; the serve
+    #: layer journals it as per-job progress.  Not part of the
+    #: checkpoint group hash: it observes execution, not results.
+    progress: Any = None
 
     def result_fingerprint(self) -> str:
         """Stable key of every tunable that can change merge *results*.

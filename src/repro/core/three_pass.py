@@ -447,6 +447,10 @@ class ThreePassRefiner:
                     ambiguous_pass2.append(key)
             span.annotate(keys=len(all_keys),
                           ambiguous=len(ambiguous_pass2))
+            metrics = get_metrics()
+            if metrics.enabled and all_keys:
+                metrics.inc("profile.relationship_comparisons",
+                            len(all_keys))
 
         if not ambiguous_pass2:
             return
@@ -487,10 +491,18 @@ class ThreePassRefiner:
                     ambiguous_pass3.append(key)
             span.annotate(keys=len(pair_keys),
                           ambiguous=len(ambiguous_pass3))
+            metrics = get_metrics()
+            if metrics.enabled and pair_keys:
+                metrics.inc("profile.relationship_comparisons",
+                            len(pair_keys))
 
         # ---------------- pass 3 ----------------
         with tracer.span("three_pass:pass3") as span:
             span.annotate(pairs=len(ambiguous_pass3))
+            metrics = get_metrics()
+            if metrics.enabled and ambiguous_pass3:
+                metrics.inc("profile.relationship_comparisons",
+                            len(ambiguous_pass3))
             for sp_name, ep_name, lc, cc in ambiguous_pass3:
                 self._refine_pair(merged_ex, sp_name, ep_name, lc, cc,
                                   collect)

@@ -134,6 +134,20 @@ def main(argv=None) -> int:
             return 2
         records.append(record)
 
+    old_meta = records[0].get("bench_meta") or {}
+    new_meta = records[1].get("bench_meta") or {}
+    mismatched = sorted(
+        f"{key}: {old_meta.get(key)!r} -> {new_meta.get(key)!r}"
+        for key in set(old_meta) | set(new_meta)
+        if old_meta.get(key) != new_meta.get(key))
+    if mismatched:
+        # Advisory only: a seed/scale/interpreter change makes deltas
+        # suspect, but gating on it would turn every intentional
+        # re-baseline into a red build.
+        print("warning: bench environments differ ("
+              + "; ".join(mismatched) + "); deltas may not be "
+              "comparable", file=sys.stderr)
+
     deltas = diff_bench(records[0], records[1])
     regressions = [d for d in deltas if d.is_regression(args.threshold)]
     shown = 0

@@ -177,6 +177,15 @@ METRIC_CONTRACT: Dict[str, Tuple[str, str]] = {
     "serve.drains": ("counter", "graceful drains initiated"),
     "serve.job_seconds": (
         "histogram", "wall-clock seconds per job, submit to terminal"),
+    # -- profiler hot-loop counters (repro.obs.profile) ----------------
+    "profile.mock_merges": (
+        "counter", "mock merges attempted by the mergeability scan"),
+    "profile.relationship_comparisons": (
+        "counter", "relationship keys compared by the 3-pass passes"),
+    "profile.bfs_expansions": (
+        "counter", "timing-graph BFS frontier expansions (clock walks)"),
+    "profile.tag_propagations": (
+        "counter", "relationship tags pushed across fanout arcs"),
     # -- diagnostics / run-level ---------------------------------------
     "diagnostics.emitted": ("counter", "structured diagnostics recorded"),
     "run.wall_seconds": ("gauge", "wall-clock seconds of the whole run"),
@@ -293,6 +302,26 @@ class MetricsRegistry(NullMetrics):
             self._histograms[name] = hist
         hist.observe(value)
 
+    def declare(self, name: str) -> None:
+        """Pre-create a contract metric at zero so exporters show its row.
+
+        The serve metrics endpoint declares every ``serve.*`` / ``exec.*``
+        / ``cache.*`` contract name at startup: a scrape taken while the
+        first job is still running already exposes the full stable-name
+        surface (absent-vs-zero is a real distinction for dashboards).
+        Unknown names are ignored — declaring never widens the contract.
+        """
+        declared = METRIC_CONTRACT.get(name)
+        if declared is None:
+            return
+        kind = declared[0]
+        if kind == "counter":
+            self._counters.setdefault(name, 0)
+        elif kind == "gauge":
+            self._gauges.setdefault(name, 0.0)
+        elif name not in self._histograms:
+            self._histograms[name] = _Histogram(SECONDS_BUCKETS)
+
     # -- queries --------------------------------------------------------
     def counter(self, name: str) -> float:
         return self._counters.get(name, 0)
@@ -389,13 +418,77 @@ class MetricsRegistry(NullMetrics):
                                  f"expected 'json' or 'prometheus'")
 
 
+class TeeMetrics(NullMetrics):
+    """Forward every recording to several registries at once.
+
+    The serve layer runs each job under its own registry (exported as the
+    job's ``metrics.json`` artifact) while a service-wide registry backs
+    the live ``GET /api/metrics`` endpoint; a tee installed thread-locally
+    feeds both without the instrumentation sites knowing.  Queries and
+    exports read the **first** sink.
+    """
+
+    enabled = True
+
+    def __init__(self, *sinks: NullMetrics):
+        self._sinks: List[NullMetrics] = [
+            sink for sink in sinks if sink is not None and sink.enabled]
+
+    def inc(self, name: str, value: float = 1) -> None:
+        for sink in self._sinks:
+            sink.inc(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        for sink in self._sinks:
+            sink.set_gauge(name, value)
+
+    def observe(self, name: str, value: float,
+                buckets: Optional[Sequence[float]] = None) -> None:
+        for sink in self._sinks:
+            sink.observe(name, value, buckets)
+
+    def merge_payload(self, payload: dict) -> None:
+        for sink in self._sinks:
+            sink.merge_payload(payload)
+
+    def counter(self, name: str) -> float:
+        return self._sinks[0].counter(name) if self._sinks else 0.0
+
+    def gauge(self, name: str) -> Optional[float]:
+        return self._sinks[0].gauge(name) if self._sinks else None
+
+    def histogram(self, name: str) -> Optional[dict]:
+        return self._sinks[0].histogram(name) if self._sinks else None
+
+    def names(self) -> List[str]:
+        return self._sinks[0].names() if self._sinks else []
+
+    def to_dict(self) -> dict:
+        if self._sinks:
+            return self._sinks[0].to_dict()
+        return MetricsRegistry().to_dict()
+
+
 def _prom_name(name: str) -> str:
     return "repro_" + name.replace(".", "_").replace("-", "_")
 
 
 def _prom_value(value: float) -> str:
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
+    """Render a sample the Prometheus text format accepts.
+
+    Python's ``repr`` spells non-finite floats ``nan`` / ``inf`` /
+    ``-inf``; the exposition format requires ``NaN`` / ``+Inf`` /
+    ``-Inf``.  A scraper hitting ``/api/metrics`` chokes on the former.
+    """
+    if isinstance(value, float):
+        if value != value:
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        if value.is_integer():
+            return str(int(value))
     return repr(value)
 
 

@@ -78,7 +78,7 @@ def _span_rows(tracer) -> List[Dict[str, Any]]:
 
 
 def build_report_payload(run=None, tracer=None, metrics=None,
-                         decisions=None,
+                         decisions=None, profile=None,
                          title: str = "repro merge run") -> Dict[str, Any]:
     """The machine-readable payload embedded in (and driving) the HTML."""
     payload: Dict[str, Any] = {
@@ -98,6 +98,8 @@ def build_report_payload(run=None, tracer=None, metrics=None,
             "kind": "repro-decisions",
             "decisions": [d.to_dict() for d in run.decision_records],
         }
+    if profile:
+        payload["profile"] = profile
     return payload
 
 
@@ -247,11 +249,64 @@ def _render_decisions(decisions: Dict[str, Any]) -> List[str]:
             "<div class=\"tree\">", "\n".join(lines), "</div>"]
 
 
+def _render_profile(profile: Dict[str, Any]) -> List[str]:
+    out = ["<h2>Profile</h2>",
+           f"<p>{_esc(profile.get('total_seconds', 0))} s profiled"
+           + (f" (+{_esc(profile.get('worker_seconds'))} s in workers)"
+              if profile.get("worker_seconds") else "")
+           + ".</p>"]
+    spans = profile.get("spans", [])
+    if spans:
+        ranked = sorted(spans, key=lambda row: -row.get("self_s", 0.0))
+        out += ["<h3>Span costs</h3>", "<table>",
+                "<tr><th>Span</th><th>Count</th><th>Self ms</th>"
+                "<th>Cumulative ms</th></tr>"]
+        for row in ranked[:25]:
+            out.append(
+                "<tr>"
+                f"<td>{_esc(row.get('name', ''))}</td>"
+                f"<td>{_esc(row.get('count', ''))}</td>"
+                f"<td>{_esc(round(row.get('self_s', 0.0) * 1000, 3))}</td>"
+                f"<td>{_esc(round(row.get('cum_s', 0.0) * 1000, 3))}</td>"
+                "</tr>")
+        out.append("</table>")
+    for phase, info in profile.get("phases", {}).items():
+        functions = info.get("top_functions", [])
+        if not functions:
+            continue
+        out += [f"<details><summary>phase {_esc(phase)}: "
+                f"{_esc(round(info.get('self_seconds', 0.0) * 1000, 3))} ms "
+                f"self across {_esc(info.get('functions', 0))} "
+                "function(s)</summary>",
+                "<table>",
+                "<tr><th>Function</th><th>Calls</th><th>Self ms</th>"
+                "<th>Cumulative ms</th></tr>"]
+        for fn in functions:
+            out.append(
+                "<tr>"
+                f"<td>{_esc(fn.get('function', ''))}</td>"
+                f"<td>{_esc(fn.get('calls', ''))}</td>"
+                f"<td>{_esc(round(fn.get('self_s', 0.0) * 1000, 3))}</td>"
+                f"<td>{_esc(round(fn.get('cum_s', 0.0) * 1000, 3))}</td>"
+                "</tr>")
+        out += ["</table>", "</details>"]
+    counters = profile.get("counters", {})
+    if counters:
+        out += ["<h3>Hot-loop counters</h3>", "<table>",
+                "<tr><th>Counter</th><th>Value</th></tr>"]
+        for name in sorted(counters):
+            out.append(f"<tr><td>{_esc(name)}</td>"
+                       f"<td>{_esc(counters[name])}</td></tr>")
+        out.append("</table>")
+    return out
+
+
 def render_run_report(run=None, tracer=None, metrics=None, decisions=None,
+                      profile=None,
                       title: str = "repro merge run") -> str:
     """One self-contained HTML page covering every observability layer."""
     payload = build_report_payload(run, tracer, metrics, decisions,
-                                   title=title)
+                                   profile=profile, title=title)
     run_dict = payload.get("run", {})
     body: List[str] = [f"<h1>{_esc(title)}</h1>"]
     if run_dict:
@@ -265,6 +320,8 @@ def render_run_report(run=None, tracer=None, metrics=None, decisions=None,
         body += _render_diagnostics(run_dict)
     if "decisions" in payload:
         body += _render_decisions(payload["decisions"])
+    if "profile" in payload:
+        body += _render_profile(payload["profile"])
     # "</" inside the JSON would close the script block early.
     blob = json.dumps(payload).replace("</", "<\\/")
     return "\n".join([
@@ -286,7 +343,8 @@ def render_run_report(run=None, tracer=None, metrics=None, decisions=None,
 
 
 def write_run_report(path, run=None, tracer=None, metrics=None,
-                     decisions=None, title: str = "repro merge run") -> None:
+                     decisions=None, profile=None,
+                     title: str = "repro merge run") -> None:
     with open(path, "w") as handle:
         handle.write(render_run_report(run, tracer, metrics, decisions,
-                                       title=title))
+                                       profile=profile, title=title))

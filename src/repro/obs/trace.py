@@ -167,6 +167,18 @@ class Tracer(NullTracer):
         self.epoch = time.time()
         self.roots: List[Span] = []
         self._stack: List[Span] = []
+        #: span lifecycle observers (the profiler); notified on open and
+        #: close.  Empty list unless someone attaches — the per-span cost
+        #: of the hook is one truthiness check.
+        self._listeners: List[Any] = []
+
+    def add_listener(self, listener: Any) -> None:
+        """Attach a span observer (``span_opened(span)``/``span_closed``).
+
+        The profiler uses this to snapshot cProfile counters at phase
+        boundaries without the tracer knowing anything about profiling.
+        """
+        self._listeners.append(listener)
 
     # -- recording ------------------------------------------------------
     def span(self, name: str, **attrs: Any) -> _SpanHandle:
@@ -180,6 +192,9 @@ class Tracer(NullTracer):
         else:
             self.roots.append(span)
         self._stack.append(span)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.span_opened(span)
         return span
 
     def _close(self, span: Optional[Span]) -> None:
@@ -188,12 +203,20 @@ class Tracer(NullTracer):
             return
         span.end = end
         # Tolerate mis-nested exits: pop up to and including the span.
+        closed: List[Span] = []
         while self._stack:
             top = self._stack.pop()
             if top is span:
+                closed.append(top)
                 break
             if top.end is None:
                 top.end = end
+            closed.append(top)
+        if self._listeners:
+            # innermost first, so listeners see force-closed spans too
+            for closed_span in closed:
+                for listener in self._listeners:
+                    listener.span_closed(closed_span)
 
     @property
     def current(self) -> Optional[Span]:

@@ -9,7 +9,8 @@ documented layouts (docs/OBSERVABILITY.md).
 Usable as a module::
 
     python -m repro.obs.validate --trace t.json --metrics m.json \
-        --explain d.json --html report.html
+        --explain d.json --html report.html --profile p.json \
+        --trends trends.json --trends-html trends.html
 """
 
 from __future__ import annotations
@@ -20,8 +21,10 @@ from typing import List
 
 from repro.obs.explain import DECISION_KINDS, DECISIONS_SCHEMA_VERSION
 from repro.obs.metrics import METRIC_CONTRACT, METRICS_SCHEMA_VERSION
+from repro.obs.profile import PROFILE_SCHEMA_VERSION
 from repro.obs.report_html import HTML_REPORT_MARKER
 from repro.obs.trace import TRACE_SCHEMA_VERSION
+from repro.obs.trends import TRENDS_HTML_MARKER, TRENDS_SCHEMA_VERSION
 
 
 def validate_trace_jsonl(text: str) -> List[str]:
@@ -185,15 +188,18 @@ def validate_decisions(text: str) -> List[str]:
     return problems
 
 
-def validate_html(text: str) -> List[str]:
-    """Problems with a self-contained HTML run report.
+def _validate_html_payload(text: str, marker: str,
+                           kind: str) -> List[str]:
+    """Shared checks for self-contained HTML artifacts.
 
-    The report must be a single file with no network fetches: any
+    The artifact must be a single file with no network fetches: any
     ``http(s)://`` reference from a src/href attribute is an error.
+    The embedded ``<script type="application/json">`` payload must
+    parse and carry the expected ``kind``.
     """
     problems: List[str] = []
-    if HTML_REPORT_MARKER not in text:
-        problems.append(f"missing {HTML_REPORT_MARKER!r} marker comment")
+    if marker not in text:
+        problems.append(f"missing {marker!r} marker comment")
     lowered = text.lower()
     if "<html" not in lowered:
         problems.append("missing <html> element")
@@ -217,10 +223,149 @@ def validate_html(text: str) -> List[str]:
         except ValueError as exc:
             problems.append(f"embedded JSON payload is not JSON: {exc}")
         else:
-            if record.get("kind") != "repro-run-report":
+            if record.get("kind") != kind:
                 problems.append(
                     f"payload kind is {record.get('kind')!r}, "
-                    f"expected 'repro-run-report'")
+                    f"expected {kind!r}")
+    return problems
+
+
+def validate_html(text: str) -> List[str]:
+    """Problems with a self-contained HTML run report."""
+    return _validate_html_payload(text, HTML_REPORT_MARKER,
+                                  "repro-run-report")
+
+
+def validate_trends_html(text: str) -> List[str]:
+    """Problems with a self-contained HTML benchmark trend report."""
+    return _validate_html_payload(text, TRENDS_HTML_MARKER,
+                                  "repro-trends")
+
+
+def validate_profile(text: str) -> List[str]:
+    """Problems with a ``profile.json`` artifact (``--profile out``)."""
+    try:
+        record = json.loads(text)
+    except ValueError as exc:
+        return [f"not JSON: {exc}"]
+    problems: List[str] = []
+    if record.get("kind") != "repro-profile":
+        problems.append(f"kind is {record.get('kind')!r}, "
+                        f"expected 'repro-profile'")
+    if record.get("schema_version") != PROFILE_SCHEMA_VERSION:
+        problems.append(f"schema_version is "
+                        f"{record.get('schema_version')!r}, expected "
+                        f"{PROFILE_SCHEMA_VERSION}")
+    for key in ("total_seconds", "worker_seconds"):
+        value = record.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"{key} is missing or negative")
+    spans = record.get("spans")
+    if not isinstance(spans, list):
+        problems.append("spans is missing or not a list")
+        spans = []
+    for i, span in enumerate(spans):
+        if not isinstance(span, dict):
+            problems.append(f"span {i} is not an object")
+            continue
+        for key in ("name", "count", "cum_s", "self_s"):
+            if key not in span:
+                problems.append(f"span {i} missing {key!r}")
+        cum = span.get("cum_s", 0.0)
+        own = span.get("self_s", 0.0)
+        if isinstance(cum, (int, float)) and isinstance(own, (int, float)):
+            if own < 0 or cum < 0:
+                problems.append(f"span {i} has a negative duration")
+            if own > cum + 1e-6:
+                problems.append(f"span {i} self_s exceeds cum_s")
+    phases = record.get("phases")
+    if not isinstance(phases, dict):
+        problems.append("phases is missing or not an object")
+        phases = {}
+    for phase, entry in phases.items():
+        if not isinstance(entry, dict):
+            problems.append(f"phase {phase!r} is not an object")
+            continue
+        for key in ("self_seconds", "functions", "top_functions"):
+            if key not in entry:
+                problems.append(f"phase {phase!r} missing {key!r}")
+        for j, row in enumerate(entry.get("top_functions", [])):
+            if not isinstance(row, dict):
+                problems.append(f"phase {phase!r} function {j} is not "
+                                f"an object")
+                continue
+            for key in ("function", "calls", "self_s", "cum_s"):
+                if key not in row:
+                    problems.append(f"phase {phase!r} function {j} "
+                                    f"missing {key!r}")
+    counters = record.get("counters")
+    if not isinstance(counters, dict):
+        problems.append("counters is missing or not an object")
+        counters = {}
+    for name, value in counters.items():
+        if name not in METRIC_CONTRACT:
+            problems.append(f"counter {name!r} is not in METRIC_CONTRACT")
+        if not isinstance(value, (int, float)):
+            problems.append(f"counter {name!r} value is not numeric")
+    return problems
+
+
+def validate_trends(text: str) -> List[str]:
+    """Problems with a ``trends.json`` trend-analytics payload."""
+    try:
+        record = json.loads(text)
+    except ValueError as exc:
+        return [f"not JSON: {exc}"]
+    problems: List[str] = []
+    if record.get("kind") != "repro-trends":
+        problems.append(f"kind is {record.get('kind')!r}, "
+                        f"expected 'repro-trends'")
+    if record.get("schema_version") != TRENDS_SCHEMA_VERSION:
+        problems.append(f"schema_version is "
+                        f"{record.get('schema_version')!r}, expected "
+                        f"{TRENDS_SCHEMA_VERSION}")
+    snapshots = record.get("snapshots")
+    if not isinstance(snapshots, list) or len(snapshots) < 2:
+        problems.append("snapshots is missing or holds fewer than two "
+                        "entries")
+        snapshots = snapshots if isinstance(snapshots, list) else []
+    for i, snap in enumerate(snapshots):
+        if not isinstance(snap, dict) or "label" not in snap:
+            problems.append(f"snapshot {i} is missing its label")
+    series = record.get("series")
+    if not isinstance(series, dict):
+        problems.append("series is missing or not an object")
+        series = {}
+    for name, entry in series.items():
+        if not isinstance(entry, dict):
+            problems.append(f"series {name!r} is not an object")
+            continue
+        values = entry.get("values")
+        markers = entry.get("markers")
+        if not isinstance(values, list) \
+                or len(values) != len(snapshots):
+            problems.append(f"series {name!r} needs one value per "
+                            f"snapshot")
+        if not isinstance(markers, list) \
+                or len(markers) != max(0, len(snapshots) - 1):
+            problems.append(f"series {name!r} needs one marker per "
+                            f"adjacent snapshot pair")
+        else:
+            for marker in markers:
+                if marker not in (None, "regression", "improvement"):
+                    problems.append(f"series {name!r} has illegal marker "
+                                    f"{marker!r}")
+        if entry.get("direction") not in (0, 1):
+            problems.append(f"series {name!r} direction must be 0 or 1")
+    summary = record.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("summary is missing or not an object")
+    else:
+        for key in ("snapshots", "metrics", "regressions",
+                    "improvements"):
+            if not isinstance(summary.get(key), int):
+                problems.append(f"summary.{key} is missing or not an "
+                                f"integer")
     return problems
 
 
@@ -234,16 +379,26 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics", help="metrics JSON file")
     parser.add_argument("--explain", help="decisions JSON file")
     parser.add_argument("--html", help="self-contained HTML run report")
+    parser.add_argument("--profile", help="profile JSON file")
+    parser.add_argument("--trends", help="trend analytics JSON file")
+    parser.add_argument("--trends-html",
+                        help="self-contained HTML trend report")
     args = parser.parse_args(argv)
-    if not any((args.trace, args.metrics, args.explain, args.html)):
+    if not any((args.trace, args.metrics, args.explain, args.html,
+                args.profile, args.trends, args.trends_html)):
         parser.error("nothing to validate: pass --trace, --metrics, "
-                     "--explain and/or --html")
+                     "--explain, --html, --profile, --trends and/or "
+                     "--trends-html")
 
     failed = False
     for label, path, check in (("trace", args.trace, validate_trace),
                                ("metrics", args.metrics, validate_metrics),
                                ("explain", args.explain, validate_decisions),
-                               ("html", args.html, validate_html)):
+                               ("html", args.html, validate_html),
+                               ("profile", args.profile, validate_profile),
+                               ("trends", args.trends, validate_trends),
+                               ("trends-html", args.trends_html,
+                                validate_trends_html)):
         if not path:
             continue
         with open(path) as handle:

@@ -6,11 +6,18 @@ handler.  Routes:
 ==============================================  =============================
 ``POST /api/jobs``                              submit; 201 + acked status
 ``GET  /api/jobs``                              list all jobs
-``GET  /api/jobs/<id>``                         one job's status
+``GET  /api/jobs/<id>``                         one job's status, including
+                                                ``progress`` (groups merged
+                                                vs total)
 ``POST /api/jobs/<id>/cancel``                  request cancellation
 ``GET  /api/jobs/<id>/artifacts``               artifact names (done jobs)
 ``GET  /api/jobs/<id>/artifacts/<name>``        artifact content
-``GET  /api/health``                            liveness + queue snapshot
+``GET  /api/health``                            liveness + queue snapshot,
+                                                service version, uptime,
+                                                jobs admitted/completed
+``GET  /api/metrics``                           Prometheus text exposition
+                                                of the service registry —
+                                                scrapeable while jobs run
 ==============================================  =============================
 
 Admission rejections surface as their mapped HTTP status with a stable
@@ -92,6 +99,15 @@ class ServeAPIHandler(BaseHTTPRequestHandler):
         try:
             if parts == ("api", "health"):
                 self._send_json(200, self.service.health())
+            elif parts == ("api", "metrics"):
+                body = self.service.metrics_text().encode()
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
             elif parts == ("api", "jobs"):
                 self._send_json(200, {"jobs": self.service.list_jobs()})
             elif len(parts) == 3 and parts[:2] == ("api", "jobs"):

@@ -11,6 +11,7 @@ event      new state      meaning
 submit     queued         accepted and durably acked to the client
 admit      admitted       claimed by a runner thread
 start      running        merge attempt began
+progress   running        N of M groups merged (running self-loop)
 retry      admitted       attempt failed; backing off for another try
 finalize   checkpointing  merge done; artifacts being written
 finish     done           artifacts durable — terminal
@@ -43,6 +44,7 @@ JOB_EVENTS: Dict[str, str] = {
     "submit": "queued",
     "admit": "admitted",
     "start": "running",
+    "progress": "running",
     "retry": "admitted",
     "finalize": "checkpointing",
     "finish": "done",
@@ -58,7 +60,8 @@ VALID_EVENTS: Dict[Optional[str], frozenset] = {
     None: frozenset({"submit"}),
     "queued": frozenset({"admit", "cancel", "resume"}),
     "admitted": frozenset({"start", "cancel", "resume"}),
-    "running": frozenset({"finalize", "retry", "fail", "cancel", "resume"}),
+    "running": frozenset({"progress", "finalize", "retry", "fail",
+                          "cancel", "resume"}),
     "checkpointing": frozenset({"finish", "fail", "retry", "cancel",
                                 "resume"}),
     "done": frozenset(),
@@ -82,6 +85,9 @@ class Job:
     mode_names: List[str] = field(default_factory=list)
     attempts: int = 0
     error: str = ""
+    #: groups merged so far / total groups (from ``progress`` events)
+    progress_done: int = 0
+    progress_total: int = 0
     created: float = 0.0
     updated: float = 0.0
     artifacts: List[str] = field(default_factory=list)
@@ -124,6 +130,10 @@ class Job:
             self.created = float(record.get("t", self.created))
         if event in ("start", "retry"):
             self.attempts = int(record.get("attempt", self.attempts))
+        if event == "progress":
+            self.progress_done = int(record.get("done", self.progress_done))
+            self.progress_total = int(record.get("total",
+                                                 self.progress_total))
         if event == "fail":
             self.error = str(record.get("error", self.error)) or self.error
         if event == "finish":
@@ -139,6 +149,8 @@ class Job:
             "modes": list(self.mode_names),
             "attempts": self.attempts,
             "error": self.error,
+            "progress": {"done": self.progress_done,
+                         "total": self.progress_total},
             "artifacts": list(self.artifacts),
             "created": self.created,
             "updated": self.updated,

@@ -49,7 +49,15 @@ from repro.exec.chaos import CACHE_FAULT_KINDS, ChaosPlan
 from repro.exec.gate import FairSlotGate
 from repro.netlist import read_verilog
 from repro.obs.explain import DecisionLedger, thread_explaining
-from repro.obs.metrics import MetricsRegistry, get_metrics, thread_collecting
+from repro.obs.metrics import (
+    METRIC_CONTRACT,
+    MetricsRegistry,
+    TeeMetrics,
+    get_metrics,
+    set_metrics,
+    thread_collecting,
+)
+from repro.obs.profile import Profiler, thread_profiling
 from repro.obs.trace import Tracer, thread_tracing
 from repro.sdc import parse_mode, write_mode
 from repro.serve.jobs import (
@@ -87,6 +95,9 @@ class ServeConfig:
     #: result-cache directory shared by every job (None = uncached);
     #: see :class:`repro.cache.ResultCache`
     cache_root: Optional[Union[str, Path]] = None
+    #: profile every job and write a per-job ``profile.json`` artifact;
+    #: individual submissions can override with ``options.profile``
+    profile_jobs: bool = False
 
 
 class _StopSignal:
@@ -176,12 +187,38 @@ class MergeService:
         self._seq = 0
         #: shared cross-job result cache, opened by start()
         self.cache = None
+        #: service-wide metrics registry backing GET /api/metrics,
+        #: resolved by start() (reuses an enabled ambient registry,
+        #: otherwise installs its own and restores it on drain)
+        self.metrics: Optional[MetricsRegistry] = None
+        self._owns_ambient_metrics = False
+        self._previous_metrics: Optional[MetricsRegistry] = None
+        self._started_monotonic: Optional[float] = None
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
         """Recover the journal, resume interrupted jobs, start runners."""
         self.root.mkdir(parents=True, exist_ok=True)
+        self._started_monotonic = time.monotonic()
+        # The live-telemetry registry: reuse an already-installed ambient
+        # registry (CLI --metrics, a test's collecting() scope) so counts
+        # land where the caller expects, otherwise install our own as the
+        # process ambient so journal/cache/runner instrumentation reaches
+        # GET /api/metrics.  Every serve./exec./cache. contract name is
+        # pre-declared at zero so a scrape mid-first-job already exposes
+        # the full stable-name surface.
+        ambient = get_metrics()
+        if ambient.enabled:
+            self.metrics = ambient
+        else:
+            self.metrics = MetricsRegistry()
+            self._previous_metrics = set_metrics(self.metrics)
+            self._owns_ambient_metrics = True
+        if hasattr(self.metrics, "declare"):
+            for name in METRIC_CONTRACT:
+                if name.partition(".")[0] in ("serve", "exec", "cache"):
+                    self.metrics.declare(name)
         if self.config.cache_root:
             from repro.cache import ResultCache
 
@@ -256,6 +293,9 @@ class MergeService:
         except JournalError:
             pass  # shutting down anyway; replay needs no terminal mark
         self.journal.close()
+        if self._owns_ambient_metrics:
+            set_metrics(self._previous_metrics)
+            self._owns_ambient_metrics = False
 
     @property
     def draining(self) -> bool:
@@ -329,14 +369,34 @@ class MergeService:
         return [job.status() for job in jobs]
 
     def health(self) -> dict:
+        from repro import __version__
+
         with self._lock:
             by_state: Dict[str, int] = {}
             for job in self.jobs.values():
                 by_state[job.state or "?"] = \
                     by_state.get(job.state or "?", 0) + 1
             draining = self._draining
+        uptime = 0.0 if self._started_monotonic is None \
+            else time.monotonic() - self._started_monotonic
+        metrics = self.metrics
         return {"ok": True, "draining": draining, "jobs": by_state,
-                "queue_depth": self._queue.qsize()}
+                "queue_depth": self._queue.qsize(),
+                "version": __version__,
+                "uptime_seconds": round(uptime, 3),
+                "jobs_admitted": int(
+                    metrics.counter("serve.jobs_submitted"))
+                if metrics is not None else 0,
+                "jobs_completed": int(
+                    metrics.counter("serve.jobs_completed"))
+                if metrics is not None else 0}
+
+    def metrics_text(self) -> str:
+        """The service registry as Prometheus text (GET /api/metrics)."""
+        registry = self.metrics
+        if registry is None or not hasattr(registry, "to_prometheus"):
+            registry = MetricsRegistry()
+        return registry.to_prometheus()
 
     def artifact_path(self, job_id: str, name: str) -> Path:
         """Resolve one artifact, refusing path escapes."""
@@ -510,42 +570,65 @@ class MergeService:
         allowed = {"tolerance": float, "max_iterations": int,
                    "validate": bool, "signoff_guard": bool,
                    "strict": bool}
-        for key, value in payload.get("options", {}).items():
+        job_options = payload.get("options", {})
+        for key, value in job_options.items():
             if key in allowed and isinstance(value, (int, float, bool)):
                 setattr(options, key, allowed[key](value))
+        want_profile = bool(job_options.get("profile",
+                                            self.config.profile_jobs))
+
+        def _progress(done: int, total: int) -> None:
+            self._journal_progress("progress", job, done=done, total=total)
+
+        options.progress = _progress
         tracer = Tracer()
         registry = MetricsRegistry()
         ledger = DecisionLedger()
-        with thread_tracing(tracer), thread_collecting(registry), \
-                thread_explaining(ledger):
-            with tracer.span("serve:job", job=job.id,
-                             modes=[m.name for m in modes],
-                             attempt=job.attempts):
-                checkpoint = MergeCheckpoint.open(
-                    job.directory / "run.ckpt",
-                    input_hash=content_hash(
-                        netlist_text,
-                        *(sdc_texts[k] for k in sorted(sdc_texts))),
-                    collector=job_collector)
-                chaos, original_save = self.chaos, checkpoint.save
+        # Job recordings also land in the service registry so a scrape
+        # of GET /api/metrics mid-run sees the in-flight exec./cache.
+        # activity; the job's own artifact still reads from `registry`.
+        job_metrics = registry if self.metrics is None \
+            else TeeMetrics(registry, self.metrics)
+        profiler = Profiler() if want_profile else None
+        if profiler is not None:
+            tracer.add_listener(profiler)
+        with thread_tracing(tracer), thread_collecting(job_metrics), \
+                thread_explaining(ledger), thread_profiling(profiler):
+            if profiler is not None:
+                profiler.start()
+            try:
+                with tracer.span("serve:job", job=job.id,
+                                 modes=[m.name for m in modes],
+                                 attempt=job.attempts):
+                    checkpoint = MergeCheckpoint.open(
+                        job.directory / "run.ckpt",
+                        input_hash=content_hash(
+                            netlist_text,
+                            *(sdc_texts[k] for k in sorted(sdc_texts))),
+                        collector=job_collector)
+                    chaos, original_save = self.chaos, checkpoint.save
 
-                def striking_save():
-                    chaos.strike("serve:ckpt")
-                    original_save()
+                    def striking_save():
+                        chaos.strike("serve:ckpt")
+                        original_save()
 
-                checkpoint.save = striking_save
-                run = merge_all(netlist, modes, options,
-                                collector=job_collector,
-                                checkpoint=checkpoint,
-                                jobs=self.config.jobs,
-                                cache=self.cache)
+                    checkpoint.save = striking_save
+                    run = merge_all(netlist, modes, options,
+                                    collector=job_collector,
+                                    checkpoint=checkpoint,
+                                    jobs=self.config.jobs,
+                                    cache=self.cache)
+            finally:
+                if profiler is not None:
+                    profiler.stop()
         self.chaos.strike("serve:finalize")
         self._journal_progress("finalize", job)
         job.artifacts = self._write_artifacts(
-            job, run, tracer, registry, ledger, job_collector)
+            job, run, tracer, registry, ledger, job_collector,
+            profiler=profiler)
 
     def _write_artifacts(self, job: Job, run, tracer, registry, ledger,
-                         job_collector) -> List[str]:
+                         job_collector, profiler=None) -> List[str]:
         """Write the artifact set; deterministic pieces are re-written
         byte-identically when a crash forces this to run again."""
         base = job.directory / "artifacts"
@@ -568,10 +651,17 @@ class MergeService:
         names.append("decisions.json")
         (base / "diagnostics.json").write_text(job_collector.to_json())
         names.append("diagnostics.json")
+        if profiler is not None:
+            profiler.write(base / "profile.json", tracer=tracer,
+                           metrics=registry)
+            names.append("profile.json")
         from repro.obs.report_html import write_run_report
 
+        profile_payload = None if profiler is None \
+            else profiler.export(tracer=tracer, metrics=registry)
         write_run_report(base / "report.html", run=run, tracer=tracer,
                          metrics=registry, decisions=ledger,
+                         profile=profile_payload,
                          title=f"repro-serve {job.id}")
         names.append("report.html")
         return sorted(names)

@@ -153,9 +153,11 @@ def run_smoke(seed: int, chaos_clause: str, keep_root: str = "",
     problems: List[str] = []
     restarts = 0
     job_id = ""
-    payload = {"netlist": netlist_text, "modes": sdc_texts}
+    payload = {"netlist": netlist_text, "modes": sdc_texts,
+               "options": {"profile": True}}
     deadline = time.monotonic() + 600
     state = ""
+    metrics_checked = False
     while time.monotonic() < deadline:
         if not server.alive():
             restarts += 1
@@ -184,6 +186,11 @@ def run_smoke(seed: int, chaos_clause: str, keep_root: str = "",
                 time.sleep(POLL_SECONDS)
                 continue
             state = json.loads(body)["state"]
+            if not metrics_checked and state in ("running",
+                                                 "checkpointing"):
+                # Scrape the live telemetry while the job is in flight.
+                problems.extend(_check_metrics_endpoint(server))
+                metrics_checked = True
             if state in ("done", "failed", "cancelled"):
                 break
             time.sleep(POLL_SECONDS)
@@ -198,6 +205,9 @@ def run_smoke(seed: int, chaos_clause: str, keep_root: str = "",
             and not problems:
         problems.append("kill clause armed but the server never died")
 
+    if not problems and not metrics_checked:
+        # The job outran the poll loop; the endpoint must still serve.
+        problems.extend(_check_metrics_endpoint(server))
     if not problems:
         problems.extend(_check_artifacts(server, job_id, reference))
     server.kill()
@@ -243,6 +253,7 @@ def _check_artifacts(server: ServerHandle, job_id: str,
         "metrics.json": obs_validate.validate_metrics,
         "decisions.json": obs_validate.validate_decisions,
         "report.html": obs_validate.validate_html,
+        "profile.json": obs_validate.validate_profile,
     }
     for name, validator in validators.items():
         if name not in names:
@@ -250,6 +261,28 @@ def _check_artifacts(server: ServerHandle, job_id: str,
             continue
         for issue in validator(fetch(name).decode()):
             problems.append(f"{name}: {issue}")
+    return problems
+
+
+def _check_metrics_endpoint(server: ServerHandle) -> List[str]:
+    """GET /api/metrics must expose every serve./exec./cache. contract
+    row as Prometheus text — scrapeable while jobs run."""
+    from repro.obs.metrics import METRIC_CONTRACT, _prom_name
+
+    try:
+        status, body = _request(f"{server.base_url}/api/metrics")
+    except (urllib.error.URLError, ConnectionError, OSError) as exc:
+        return [f"/api/metrics scrape failed: {exc}"]
+    if status != 200:
+        return [f"/api/metrics returned {status}"]
+    text = body.decode()
+    problems = []
+    for name in sorted(METRIC_CONTRACT):
+        if name.partition(".")[0] not in ("serve", "exec", "cache"):
+            continue
+        if _prom_name(name) not in text:
+            problems.append(f"/api/metrics is missing {name} "
+                            f"({_prom_name(name)})")
     return problems
 
 

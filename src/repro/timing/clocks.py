@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.obs.metrics import get_metrics
 from repro.timing.context import BoundMode, Clock
 from repro.timing.graph import ARC_LAUNCH, TimingGraph
 
@@ -46,6 +47,7 @@ class ClockPropagation:
         bound = self.bound
         graph = bound.graph
         constants = bound.constants
+        expansions = 0
         for clock in bound.clocks.values():
             if clock.is_virtual:
                 continue
@@ -58,6 +60,7 @@ class ClockPropagation:
                 if node in visited:
                     continue
                 visited.add(node)
+                expansions += 1
                 if bound.stops_clock(node, clock.name):
                     continue
                 if not clock.is_generated:
@@ -74,6 +77,10 @@ class ClockPropagation:
                         continue
                     if arc.dst not in visited:
                         queue.append(arc.dst)
+
+        metrics = get_metrics()
+        if metrics.enabled and expansions:
+            metrics.inc("profile.bfs_expansions", expansions)
 
         for inst_name, (clock_node, _data, _outs) in graph.seq_info.items():
             clocks = self.node_clocks.get(clock_node)
@@ -138,6 +145,7 @@ def propagate_launch_clocks(bound: BoundMode,
     by_clock: Dict[str, Set[int]] = {}
     for node, clock_name in seeds:
         by_clock.setdefault(clock_name, set()).add(node)
+    expansions = 0
     for clock_name, start_nodes in by_clock.items():
         visited: Set[int] = set()
         queue = deque(start_nodes)
@@ -146,6 +154,7 @@ def propagate_launch_clocks(bound: BoundMode,
             if node in visited:
                 continue
             visited.add(node)
+            expansions += 1
             node_clocks.setdefault(node, set()).add(clock_name)
             for arc in graph.fanout[node]:
                 if arc.kind == ARC_LAUNCH:
@@ -154,4 +163,7 @@ def propagate_launch_clocks(bound: BoundMode,
                     continue
                 if arc.dst not in visited:
                     queue.append(arc.dst)
+    metrics = get_metrics()
+    if metrics.enabled and expansions:
+        metrics.inc("profile.bfs_expansions", expansions)
     return node_clocks

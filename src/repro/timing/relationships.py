@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.netlist.netlist import Pin, Port
+from repro.obs.metrics import get_metrics
 from repro.timing.clocks import ClockPropagation
 from repro.timing.context import BoundException, BoundMode
 from repro.timing.graph import (
@@ -278,6 +279,7 @@ class RelationshipExtractor:
         tags: Dict[int, Set[Tag]] = {n: set(s) for n, s in seeds.items()}
         order = graph.topo_order if subgraph is None else [
             n for n in graph.topo_order if n in subgraph]
+        pushed = 0
         for node in order:
             node_tags = tags.get(node)
             if not node_tags:
@@ -298,6 +300,7 @@ class RelationshipExtractor:
                     edge_of = (lambda e: (_FLIP[e],))
                 else:  # non-unate: either output edge is possible
                     edge_of = (lambda e: ("r", "f") if e != "*" else ("*",))
+                pushed += len(node_tags)
                 for sp, lc, active, alive, edge in node_tags:
                     if alive and not arc_own_live:
                         new_active = self._advance(self._kill(active), dst)
@@ -307,6 +310,9 @@ class RelationshipExtractor:
                         new_alive = alive
                     for new_edge in edge_of(edge):
                         bucket.add((sp, lc, new_active, new_alive, new_edge))
+        metrics = get_metrics()
+        if metrics.enabled and pushed:
+            metrics.inc("profile.tag_propagations", pushed)
         return tags
 
     # ------------------------------------------------------------------

@@ -440,3 +440,61 @@ class TestExplainCommand:
         with pytest.raises(SystemExit) as exc:
             main(["explain", str(netlist), str(mode_a), str(mode_b)])
         assert exc.value.code == 2
+
+
+class TestProfileFlag:
+    def _merge(self, files, out, extra):
+        tmp, netlist, mode_a, mode_b = files
+        assert main(extra + ["merge", str(netlist), str(mode_a),
+                             str(mode_b), "-o", str(out)]) == 0
+
+    def _sdc_bytes(self, out):
+        return {path.name: path.read_bytes()
+                for path in sorted(out.glob("*.sdc"))}
+
+    def test_profile_writes_valid_artifact(self, files, capsys):
+        import json
+
+        from repro.obs.validate import validate_profile
+
+        tmp, netlist, mode_a, mode_b = files
+        profile = tmp / "profile.json"
+        self._merge(files, tmp / "out", ["--profile", str(profile)])
+        assert f"wrote {profile}" in capsys.readouterr().out
+        text = profile.read_text()
+        assert validate_profile(text) == []
+        record = json.loads(text)
+        assert record["total_seconds"] > 0.0
+        assert {"parse", "mergeability"} <= set(record["phases"])
+        assert record["counters"].get("profile.mock_merges", 0) > 0
+        assert any(span["name"] == "run" for span in record["spans"])
+
+    def test_profiled_output_is_byte_identical_at_any_jobs(self, files):
+        import json
+
+        plain = files[0] / "out-plain"
+        self._merge(files, plain, [])
+        profiled = files[0] / "out-prof"
+        self._merge(files, profiled,
+                    ["--profile", str(files[0] / "p1.json")])
+        parallel = files[0] / "out-prof-j2"
+        self._merge(files, parallel,
+                    ["--jobs", "2", "--profile",
+                     str(files[0] / "p2.json")])
+        want = self._sdc_bytes(plain)
+        assert want
+        assert self._sdc_bytes(profiled) == want
+        assert self._sdc_bytes(parallel) == want
+        # The parallel profile folded worker payloads back in.
+        record = json.loads((files[0] / "p2.json").read_text())
+        assert record["worker_seconds"] > 0.0
+
+    def test_profile_section_reaches_html_report(self, files):
+        tmp, netlist, mode_a, mode_b = files
+        report = tmp / "report.html"
+        self._merge(files, tmp / "out",
+                    ["--profile", str(tmp / "profile.json"),
+                     "--report-html", str(report)])
+        html = report.read_text()
+        assert "<h2>Profile</h2>" in html
+        assert "Hot-loop counters" in html

@@ -217,3 +217,127 @@ class TestHTTPAPI:
         assert status == 404
         status, body = self.call(f"{base}/api/jobs/nope/cancel", {})
         assert status == 404
+
+
+class TestLiveTelemetry:
+    def test_metrics_endpoint_exposes_full_contract_in_flight(
+            self, tmp_path, workload):
+        from repro.obs.metrics import METRIC_CONTRACT, _prom_name
+
+        service = MergeService(tmp_path / "root",
+                               ServeConfig(runners=1, jobs=1,
+                                           cache_root=tmp_path / "cache"),
+                               chaos=None)
+        service.start()
+        httpd = build_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        try:
+            submitted = service.submit(payload_for(workload))
+            # Scrape while the job is queued/running: the pre-declared
+            # contract rows must already be present, in Prometheus text.
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/api/metrics",
+                    timeout=30) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain")
+                text = response.read().decode()
+            for name in METRIC_CONTRACT:
+                if name.partition(".")[0] in ("serve", "exec", "cache"):
+                    assert _prom_name(name) in text, name
+            assert "repro_serve_jobs_submitted 1" in text
+            wait_terminal(service, submitted["id"])
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/api/metrics",
+                    timeout=30) as response:
+                done_text = response.read().decode()
+            assert "repro_serve_jobs_completed 1" in done_text
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain()
+
+    def test_health_reports_version_uptime_and_job_totals(
+            self, tmp_path, workload):
+        import repro
+
+        service = MergeService(tmp_path / "root",
+                               ServeConfig(runners=1, jobs=1), chaos=None)
+        service.start()
+        try:
+            submitted = service.submit(payload_for(workload))
+            wait_terminal(service, submitted["id"])
+            health = service.health()
+            assert health["version"] == repro.__version__
+            assert health["uptime_seconds"] > 0.0
+            assert health["jobs_admitted"] == 1
+            assert health["jobs_completed"] == 1
+        finally:
+            service.drain()
+
+    def test_job_progress_reaches_status_and_journal(
+            self, tmp_path, workload):
+        root = tmp_path / "root"
+        service = MergeService(root, ServeConfig(runners=1, jobs=1),
+                               chaos=None)
+        service.start()
+        try:
+            submitted = service.submit(payload_for(workload))
+            status = wait_terminal(service, submitted["id"])
+            assert status["state"] == "done"
+            progress = status["progress"]
+            assert progress["total"] == 2  # two mode groups
+            assert progress["done"] == progress["total"]
+        finally:
+            service.drain()
+        records, _torn = JobJournal(root / "journal.jsonl").recover()
+        progress_records = [r for r in records
+                            if r.get("event") == "progress"]
+        assert progress_records
+        assert progress_records[-1]["done"] == 2
+        assert progress_records[-1]["total"] == 2
+
+    def test_profile_option_writes_valid_profile_artifact(
+            self, tmp_path, workload, reference):
+        from repro.obs.validate import validate_profile
+
+        service = MergeService(tmp_path / "root",
+                               ServeConfig(runners=1, jobs=1), chaos=None)
+        service.start()
+        try:
+            payload = payload_for(workload)
+            payload["options"] = {"profile": True}
+            submitted = service.submit(payload)
+            status = wait_terminal(service, submitted["id"])
+            assert status["state"] == "done", status["error"]
+            assert "profile.json" in status["artifacts"]
+            path = service.artifact_path(submitted["id"], "profile.json")
+            assert validate_profile(path.read_text()) == []
+            record = json.loads(path.read_text())
+            assert record["total_seconds"] > 0.0
+            assert record["counters"].get("profile.mock_merges", 0) > 0
+            # Profiling must not perturb the merged bytes.
+            base = path.parent
+            for name, want in reference.items():
+                assert (base / name).read_bytes() == want
+        finally:
+            service.drain()
+
+    def test_profile_jobs_config_profiles_every_job(
+            self, tmp_path, workload):
+        service = MergeService(
+            tmp_path / "root",
+            ServeConfig(runners=1, jobs=1, profile_jobs=True),
+            chaos=None)
+        service.start()
+        try:
+            submitted = service.submit(payload_for(workload))
+            status = wait_terminal(service, submitted["id"])
+            assert status["state"] == "done"
+            assert "profile.json" in status["artifacts"]
+        finally:
+            service.drain()

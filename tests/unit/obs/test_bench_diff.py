@@ -134,3 +134,37 @@ class TestMain:
         bad = self._write(tmp_path / "bad.json", {"kind": "repro-trace"})
         assert main([good, bad]) == 2
         assert "expected 'repro-metrics'" in capsys.readouterr().err
+
+
+class TestMetaWarning:
+    def _write(self, path, record, meta=None):
+        if meta is not None:
+            record = dict(record, bench_meta=meta)
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    def test_meta_mismatch_warns_without_failing(self, tmp_path, capsys):
+        record = _snapshot(gauges={"bench.x.modes": 1.0})
+        old = self._write(tmp_path / "old.json", record,
+                          {"python": "3.11.9", "bench_seed": "default"})
+        new = self._write(tmp_path / "new.json", record,
+                          {"python": "3.12.1", "bench_seed": "default"})
+        assert main([old, new]) == 0  # advisory, not gating
+        err = capsys.readouterr().err
+        assert "bench environments differ" in err
+        assert "python" in err
+
+    def test_matching_meta_is_silent(self, tmp_path, capsys):
+        record = _snapshot(gauges={"bench.x.modes": 1.0})
+        meta = {"python": "3.11.9"}
+        old = self._write(tmp_path / "old.json", record, meta)
+        new = self._write(tmp_path / "new.json", record, meta)
+        assert main([old, new]) == 0
+        assert "differ" not in capsys.readouterr().err
+
+    def test_missing_meta_on_both_sides_is_silent(self, tmp_path, capsys):
+        record = _snapshot(gauges={"bench.x.modes": 1.0})
+        old = self._write(tmp_path / "old.json", record)
+        new = self._write(tmp_path / "new.json", record)
+        assert main([old, new]) == 0
+        assert "differ" not in capsys.readouterr().err

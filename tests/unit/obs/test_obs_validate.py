@@ -239,3 +239,80 @@ class TestMainAllArtifacts:
         bad.write_text("<p>not a report</p>")
         assert main(["--html", str(bad)]) == 1
         assert "INVALID" in capsys.readouterr().err
+
+
+class TestProfileValidation:
+    def _valid(self):
+        from repro.obs.profile import Profiler
+
+        profiler = Profiler()
+        profiler.start()
+        profiler.stop()
+        return profiler.export()
+
+    def test_valid_export_passes(self):
+        from repro.obs.validate import validate_profile
+
+        assert validate_profile(json.dumps(self._valid())) == []
+
+    def test_detects_wrong_kind_and_self_over_cum(self):
+        from repro.obs.validate import validate_profile
+
+        record = self._valid()
+        record["kind"] = "nope"
+        record["spans"] = [{"name": "x", "count": 1, "cum_s": 1.0,
+                            "self_s": 2.0}]
+        problems = validate_profile(json.dumps(record))
+        assert any("kind" in p for p in problems)
+        assert any("self_s exceeds cum_s" in p for p in problems)
+
+    def test_detects_uncontracted_counter(self):
+        from repro.obs.validate import validate_profile
+
+        record = self._valid()
+        record["counters"] = {"profile.not_a_thing": 1}
+        problems = validate_profile(json.dumps(record))
+        assert any("METRIC_CONTRACT" in p for p in problems)
+
+    def test_not_json(self):
+        from repro.obs.validate import validate_profile
+
+        assert validate_profile("{nope")
+
+
+class TestTrendsValidation:
+    def _valid(self):
+        return {
+            "schema_version": 1, "kind": "repro-trends",
+            "threshold_percent": 25.0,
+            "snapshots": [{"label": "a", "path": "a", "meta": {}},
+                          {"label": "b", "path": "b", "meta": {}}],
+            "series": {"bench.x.run_seconds": {
+                "values": [1.0, 2.0], "direction": 1,
+                "markers": ["regression"]}},
+            "breaks": [],
+            "summary": {"snapshots": 2, "metrics": 1,
+                        "regressions": 1, "improvements": 0},
+        }
+
+    def test_valid_payload_passes(self):
+        from repro.obs.validate import validate_trends
+
+        assert validate_trends(json.dumps(self._valid())) == []
+
+    def test_detects_length_and_marker_problems(self):
+        from repro.obs.validate import validate_trends
+
+        record = self._valid()
+        record["series"]["bench.x.run_seconds"]["values"] = [1.0]
+        record["series"]["bench.x.run_seconds"]["markers"] = ["worse"]
+        problems = validate_trends(json.dumps(record))
+        assert any("one value per snapshot" in p for p in problems)
+        assert any("illegal marker" in p for p in problems)
+
+    def test_detects_single_snapshot(self):
+        from repro.obs.validate import validate_trends
+
+        record = self._valid()
+        record["snapshots"] = record["snapshots"][:1]
+        assert validate_trends(json.dumps(record))

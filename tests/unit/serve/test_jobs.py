@@ -152,3 +152,45 @@ class TestAdmission:
         assert one == two
         assert one.startswith("job-0003-")
         assert job_id_for(4, "netlist", {"a": "x", "b": "y"}) != one
+
+
+class TestProgressEvent:
+    def test_progress_self_loops_in_running(self, tmp_path):
+        job = _job(tmp_path)
+        for event in ("submit", "admit", "start"):
+            job.apply(event)
+        job.apply("progress", {"done": 1, "total": 4})
+        assert job.state == "running"
+        job.apply("progress", {"done": 4, "total": 4})
+        assert (job.progress_done, job.progress_total) == (4, 4)
+        job.apply("finalize")
+        job.apply("finish")
+        assert job.state == "done"
+
+    def test_progress_illegal_outside_running(self, tmp_path):
+        job = _job(tmp_path)
+        job.apply("submit")
+        with pytest.raises(InvalidTransition):
+            job.apply("progress", {"done": 1, "total": 2})
+
+    def test_progress_surfaces_in_status(self, tmp_path):
+        job = _job(tmp_path)
+        for event in ("submit", "admit", "start"):
+            job.apply(event)
+        job.apply("progress", {"done": 2, "total": 5})
+        assert job.status()["progress"] == {"done": 2, "total": 5}
+
+    def test_progress_replays_from_journal_records(self, tmp_path):
+        records = [
+            {"event": "submit", "job": "job-0001-abc", "seq": 1,
+             "modes": ["A", "B"], "t": 1.0},
+            {"event": "admit", "job": "job-0001-abc", "t": 2.0},
+            {"event": "start", "job": "job-0001-abc", "attempt": 1,
+             "t": 3.0},
+            {"event": "progress", "job": "job-0001-abc", "done": 3,
+             "total": 7, "t": 4.0},
+        ]
+        jobs = replay(records, tmp_path, strict=True)
+        job = jobs["job-0001-abc"]
+        assert job.state == "running"
+        assert (job.progress_done, job.progress_total) == (3, 7)
