@@ -11,7 +11,12 @@ nobody is collecting and cheap when everybody is:
    default run, reported for shape;
 3. the median full-stack overhead (trace + metrics + decision ledger,
    everything ``--report-html`` enables) against the default run, which
-   must stay under 10% on the generated workload.
+   must stay under 10% on the generated workload;
+4. the always-on flight recorder (repro.obs.blackbox): the per-event
+   recording cost times a generous over-count of the events one run
+   produces must stay under the same 2% disabled-layer bound — the
+   recorder runs on EVERY run, so this bound is what keeps "always on"
+   an honest claim.
 """
 
 import time
@@ -19,6 +24,7 @@ import time
 import pytest
 
 from repro.core import merge_all
+from repro.obs.blackbox import BlackboxRecorder, recording
 from repro.obs.explain import DecisionLedger, explaining, get_decisions
 from repro.obs.metrics import MetricsRegistry, collecting, get_metrics
 from repro.obs.profile import get_profiler
@@ -73,6 +79,48 @@ def test_disabled_overhead_bound(benchmark, workload):
           f"{spans} spans + {metric_names} metric names per run; "
           f"bound {overhead * 1e3:.3f} ms vs run "
           f"{base_seconds * 1e3:.0f} ms "
+          f"({100 * overhead / base_seconds:.3f}%)")
+    assert overhead < 0.02 * base_seconds
+
+
+def test_always_on_recorder_overhead_bound(benchmark, workload):
+    """The flight recorder's per-event cost stays under 2% of a run.
+
+    The recorder sees frame opens/closes (O(groups), via its
+    FlightLedger stand-in), diagnostics, chaos strikes, and state
+    notes — NOT the O(pairs) leaf decisions, which stay behind
+    ``ledger.enabled`` guards.  Bound the whole-run cost by the
+    recorded-event count (with a 10x miscount margin) times the
+    measured per-event cost.
+    """
+    def run():
+        return merge_all(workload.netlist, workload.modes)
+
+    start = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    base_seconds = time.perf_counter() - start
+
+    # Count what one run actually records with the recorder installed.
+    counting = BlackboxRecorder()
+    with recording(counting), explaining(counting.flight_ledger()):
+        run()
+    events = counting._seq
+
+    # Per-event cost: the frame open/close pair is the recorder's hot
+    # path (every pipeline frame goes through it on every run).
+    recorder = BlackboxRecorder()
+    ledger = recorder.flight_ledger()
+    n = 50_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with ledger.frame("merge.step", "bench"):
+            pass
+    per_event = (time.perf_counter() - start) / n / 2  # open + close
+
+    overhead = max(events, 1) * 10 * per_event
+    print(f"\nflight recorder: {per_event * 1e9:.0f} ns/event, "
+          f"{events} events per run; bound {overhead * 1e3:.3f} ms vs "
+          f"run {base_seconds * 1e3:.0f} ms "
           f"({100 * overhead / base_seconds:.3f}%)")
     assert overhead < 0.02 * base_seconds
 

@@ -277,6 +277,11 @@ class ResultCache:
         if ledger.enabled:
             ledger.decide("cache.degraded", f"cache:{self.root}",
                           verdict="disabled", evidence=[reason])
+        from repro.obs.blackbox import get_blackbox
+
+        get_blackbox().note_state("cache", {
+            "root": str(self.root), "enabled": False,
+            "reason": reason[:240]})
 
     # ------------------------------------------------------------------
     # keys
@@ -718,6 +723,11 @@ class ResultCache:
             deltas = dict(self.counters)
             for name in self.counters:
                 self.counters[name] = 0
+        from repro.obs.blackbox import get_blackbox
+
+        get_blackbox().note_state("cache", {
+            "root": str(self.root), "enabled": self.enabled,
+            "counters": {k: v for k, v in sorted(deltas.items()) if v}})
         if not any(deltas.values()):
             return
         with self._locked() as held:

@@ -303,6 +303,14 @@ class MergeCheckpoint:
                 os.fsync(handle.fileno())
         self._unsaved = []
         get_metrics().inc("checkpoint.saves")
+        # The flight recorder keeps the latest checkpoint state so a
+        # crash's blackbox.json says how much work is already durable.
+        from repro.obs.blackbox import get_blackbox
+
+        get_blackbox().note_state("checkpoint", {
+            "path": str(self.path),
+            "groups_saved": len(self.groups),
+        })
 
     # ------------------------------------------------------------------
     # hashing

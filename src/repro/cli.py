@@ -79,15 +79,34 @@ self-contained trend report (see ``repro.obs.trends``)::
 
     repro-merge bench-trends bench-2026-01 bench-2026-02 bench-2026-03 \\
         -o trends.html --json trends.json
+
+Every run also carries an always-on bounded flight recorder
+(``repro.obs.blackbox``) — no flag needed.  Clean exits discard it;
+abnormal exits (uncaught exceptions, budget trips, SIGTERM/SIGINT,
+worker crash demotions) atomically flush a schema-versioned
+``blackbox.json`` next to the merge output (override the target with
+``--blackbox PATH``/``$REPRO_BLACKBOX``, or disable with
+``--blackbox off``).  The ``doctor`` verb renders the forensic report
+— failing phase, causal event chain, last-known state — from any such
+artifact::
+
+    repro-merge doctor blackbox.json [--json]
+
+``--version`` prints the package version plus the schema version of
+every artifact kind the build emits, so bug reports pin the full
+format surface.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal as _signal
 import sys
+import threading as _threading
 import time
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
 from repro import __version__
 from repro.core import (
@@ -102,8 +121,14 @@ from repro.diagnostics import (
     DiagnosticCollector,
     Severity,
 )
-from repro.errors import ReproError
+from repro.errors import BudgetExceededError, ReproError
 from repro.netlist import read_verilog
+from repro.obs.blackbox import (
+    BlackboxRecorder,
+    format_doctor_report,
+    load_blackbox,
+    set_blackbox,
+)
 from repro.obs.explain import (
     DecisionLedger,
     format_chains,
@@ -250,6 +275,16 @@ def cmd_merge(args: argparse.Namespace, policy: DegradationPolicy,
             if outcome.result is None:
                 continue
             _print_provenance(outcome.result)
+    for diagnostic in collector:
+        if diagnostic.code == "EXE006":
+            # A worker task exhausted its retries (crash/hang/fault) and
+            # the group was demoted — infrastructure trouble, not an
+            # input problem, so mark the run for a flight-recorder
+            # flush on exit.
+            args._blackbox_reason = {
+                "kind": "worker-fault",
+                "detail": diagnostic.message[:240]}
+            break
     if failures:
         return 1
     # exit_code() centralizes the 0/1/2 contract; a completed-but-degraded
@@ -466,12 +501,80 @@ def cmd_cache(args: argparse.Namespace, policy: DegradationPolicy,
     return 0
 
 
+def cmd_doctor(args: argparse.Namespace, policy: DegradationPolicy,
+               collector: DiagnosticCollector) -> int:
+    """Render the forensic report of a flushed ``blackbox.json``.
+
+    Exit-code contract: 0 when the artifact loads and the report is
+    rendered; an unreadable or structurally invalid file exits 2 with a
+    one-line diagnostic (never a traceback).
+    """
+    import json as json_mod
+
+    try:
+        payload = load_blackbox(args.blackbox_file)
+    except ValueError as exc:
+        collector.report("DOC001", str(exc), severity=Severity.ERROR,
+                         source=str(args.blackbox_file))
+        raise _HardFailure() from exc
+    if args.doctor_json:
+        print(json_mod.dumps(payload, indent=2))
+    else:
+        print(format_doctor_report(payload), end="")
+    return 0
+
+
+def _artifact_schema_versions() -> dict:
+    """Every artifact kind's schema version, for ``--version`` output.
+
+    Bug reports quoting ``--version`` pin the full format surface —
+    which checkpoint/journal/cache/profile/trends/blackbox layouts the
+    build emits — not just the package version.
+    """
+    from repro.cache import CACHE_SCHEMA_VERSION
+    from repro.checkpoint import CHECKPOINT_SCHEMA_VERSION
+    from repro.obs.blackbox import BLACKBOX_SCHEMA_VERSION
+    from repro.obs.explain import DECISIONS_SCHEMA_VERSION
+    from repro.obs.metrics import METRICS_SCHEMA_VERSION
+    from repro.obs.profile import PROFILE_SCHEMA_VERSION
+    from repro.obs.provenance import PROVENANCE_SCHEMA_VERSION
+    from repro.obs.report_html import REPORT_HTML_SCHEMA_VERSION
+    from repro.diagnostics import DIAGNOSTICS_SCHEMA_VERSION
+    from repro.obs.trace import TRACE_SCHEMA_VERSION
+    from repro.obs.trends import TRENDS_SCHEMA_VERSION
+    from repro.serve.journal import JOURNAL_SCHEMA_VERSION
+    from repro.serve.slo import SLO_SCHEMA_VERSION
+
+    return {
+        "blackbox": BLACKBOX_SCHEMA_VERSION,
+        "cache": CACHE_SCHEMA_VERSION,
+        "checkpoint": CHECKPOINT_SCHEMA_VERSION,
+        "decisions": DECISIONS_SCHEMA_VERSION,
+        "diagnostics": DIAGNOSTICS_SCHEMA_VERSION,
+        "journal": JOURNAL_SCHEMA_VERSION,
+        "metrics": METRICS_SCHEMA_VERSION,
+        "profile": PROFILE_SCHEMA_VERSION,
+        "provenance": PROVENANCE_SCHEMA_VERSION,
+        "report-html": REPORT_HTML_SCHEMA_VERSION,
+        "slo": SLO_SCHEMA_VERSION,
+        "trace": TRACE_SCHEMA_VERSION,
+        "trends": TRENDS_SCHEMA_VERSION,
+    }
+
+
+def _version_string() -> str:
+    versions = ", ".join(f"{kind}={version}" for kind, version
+                         in sorted(_artifact_schema_versions().items()))
+    return (f"%(prog)s {__version__}\n"
+            f"artifact schema versions: {versions}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-merge",
         description="Timing-graph based SDC mode merging (DAC 2015 repro)")
     parser.add_argument("--version", action="version",
-                        version=f"%(prog)s {__version__}")
+                        version=_version_string())
     parser.add_argument("--trace", default="", metavar="OUT",
                         help="record a hierarchical span trace of the run "
                              "to this file")
@@ -522,6 +625,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--diagnostics", default="", metavar="OUT.JSON",
                         help="write the run's structured diagnostics to "
                              "this JSON file")
+    parser.add_argument("--blackbox", default="", metavar="OUT.JSON",
+                        help="where an abnormal exit flushes the flight "
+                             "recorder ('off' disables it; default: "
+                             "blackbox.json in the merge output "
+                             "directory, else the working directory; "
+                             "$REPRO_BLACKBOX overrides).  The recorder "
+                             "itself is always on; a clean run writes "
+                             "nothing")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_merge = sub.add_parser("merge", help="merge modes into superset modes")
@@ -677,6 +788,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="prune: keep at most the N newest entries "
                               "per space")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_doctor = sub.add_parser(
+        "doctor",
+        help="render the forensic report of a crashed run's "
+             "blackbox.json")
+    p_doctor.add_argument("blackbox_file", metavar="BLACKBOX.json",
+                          help="a blackbox.json flushed by an abnormal "
+                               "exit (or a serve job's artifact)")
+    p_doctor.add_argument("--json", dest="doctor_json",
+                          action="store_true",
+                          help="print the raw payload instead of the "
+                               "rendered report")
+    p_doctor.set_defaults(func=cmd_doctor)
     return parser
 
 
@@ -689,8 +813,34 @@ def _write_diagnostics(path: str, collector: DiagnosticCollector) -> None:
         print(f"cannot write diagnostics to {path}: {exc}", file=sys.stderr)
 
 
+def _sibling_artifacts(args, report_path: Path,
+                       blackbox_target: Optional[Path]) -> dict:
+    """Relative links from the HTML report to this run's other artifacts."""
+    base = str(report_path.parent) or "."
+    candidates = [
+        ("trace", args.trace),
+        ("metrics", args.metrics),
+        ("decisions", args.explain),
+        ("profile", getattr(args, "profile", "")),
+        ("diagnostics", args.diagnostics),
+    ]
+    # The blackbox only exists after an abnormal exit; link it only when
+    # this run actually flushed one.
+    if blackbox_target is not None and blackbox_target.exists():
+        candidates.append(("blackbox", str(blackbox_target)))
+    artifacts = {}
+    for label, path in candidates:
+        if not path:
+            continue
+        try:
+            artifacts[label] = os.path.relpath(path, base)
+        except ValueError:  # pragma: no cover — cross-drive on Windows
+            artifacts[label] = str(path)
+    return artifacts
+
+
 def _write_observability(args, tracer, metrics, ledger,
-                         profiler=None) -> None:
+                         profiler=None, blackbox_target=None) -> None:
     """Flush trace/metrics artifacts; export errors must not mask the run."""
     if tracer is not None and args.trace:
         try:
@@ -734,11 +884,32 @@ def _write_observability(args, tracer, metrics, ledger,
                 args.report_html, run=getattr(args, "_run", None),
                 tracer=tracer, metrics=metrics, decisions=ledger,
                 profile=profile_payload,
+                artifacts=_sibling_artifacts(
+                    args, Path(args.report_html), blackbox_target),
                 title=f"repro-merge {args.command}")
             print(f"wrote {args.report_html}")
         except OSError as exc:
             print(f"cannot write run report to {args.report_html}: {exc}",
                   file=sys.stderr)
+
+
+def _blackbox_target(args: argparse.Namespace) -> Optional[Path]:
+    """Where an abnormal exit flushes the flight recorder (None = off).
+
+    ``--blackbox``/$REPRO_BLACKBOX override; otherwise ``merge`` runs
+    flush next to their outputs (that is where an operator looks first)
+    and every other verb flushes into the working directory.
+    """
+    override = getattr(args, "blackbox", "") \
+        or os.environ.get("REPRO_BLACKBOX", "")
+    if override:
+        if override.lower() in ("off", "none", "0"):
+            return None
+        return Path(override)
+    if getattr(args, "command", "") == "merge" \
+            and getattr(args, "output", ""):
+        return Path(args.output) / "blackbox.json"
+    return Path("blackbox.json")
 
 
 def main(argv=None) -> int:
@@ -758,13 +929,49 @@ def main(argv=None) -> int:
     ledger = DecisionLedger() \
         if (args.explain or want_all) else None
     profiler = Profiler() if want_profile else None
+    # The flight recorder is always on: when a real tracer/ledger is
+    # installed it mirrors their events; with no flags it still sees the
+    # pipeline's frames through its FlightLedger stand-in, plus the
+    # diagnostics/watchdog/chaos chokepoints.  A clean run writes
+    # nothing; an abnormal exit flushes blackbox.json.
+    recorder = BlackboxRecorder()
     if profiler is not None:
         tracer.add_listener(profiler)
+    if tracer is not None:
+        tracer.add_listener(recorder)
+    if ledger is not None:
+        ledger.add_listener(recorder)
     previous_tracer = set_tracer(tracer) if tracer is not None else None
     previous_metrics = set_metrics(metrics) if metrics is not None else None
-    previous_ledger = set_decisions(ledger) if ledger is not None else None
+    previous_ledger = set_decisions(
+        ledger if ledger is not None else recorder.flight_ledger())
     previous_profiler = set_profiler(profiler) \
         if profiler is not None else None
+    previous_blackbox = set_blackbox(recorder)
+    target = _blackbox_target(args)
+    flush_reason: Optional[dict] = None
+
+    def _flush(reason: dict) -> None:
+        if target is None:
+            return
+        if recorder.flush(target, reason=reason, metrics=metrics):
+            print(f"wrote {target} (flight recorder; inspect with "
+                  f"'repro-merge doctor {target}')", file=sys.stderr)
+
+    previous_handlers = {}
+    if _threading.current_thread() is _threading.main_thread():
+        def _on_signal(signum, frame):  # noqa: ARG001 — signal signature
+            name = _signal.Signals(signum).name
+            recorder.record("signal", signal=name)
+            _flush({"kind": "signal", "detail": name})
+            _signal.signal(signum, _signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                previous_handlers[sig] = _signal.signal(sig, _on_signal)
+            except (ValueError, OSError):  # pragma: no cover — no tty
+                pass
     start = time.perf_counter()
     try:
         if profiler is not None:
@@ -775,16 +982,38 @@ def main(argv=None) -> int:
             try:
                 code = args.func(args, policy, collector)
             except _HardFailure:
+                # Controlled input errors: well-diagnosed already, no
+                # forensics needed.
                 code = 2
+            except BudgetExceededError as exc:
+                collector.capture(exc)
+                code = 2
+                flush_reason = {"kind": "budget",
+                                "detail": str(exc)[:240]}
             except ReproError as exc:
                 # Under STRICT, library errors surface here: one line,
                 # exit 2.
                 collector.capture(exc)
                 code = 2
+                flush_reason = {
+                    "kind": "error",
+                    "detail": f"{type(exc).__name__}: {exc}"[:240]}
         if metrics is not None:
             metrics.set_gauge("run.wall_seconds",
                               time.perf_counter() - start)
+    except BaseException as exc:
+        # An uncaught crash: flush the flight recorder, then let the
+        # failure propagate untouched.
+        flush_reason = {"kind": "crash",
+                        "detail": f"{type(exc).__name__}: {exc}"[:240]}
+        _flush(flush_reason)
+        raise
     finally:
+        for sig, handler in previous_handlers.items():
+            try:
+                _signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
         if profiler is not None:
             profiler.stop()
             set_profiler(previous_profiler)
@@ -792,12 +1021,19 @@ def main(argv=None) -> int:
             set_tracer(previous_tracer)
         if metrics is not None:
             set_metrics(previous_metrics)
-        if ledger is not None:
-            set_decisions(previous_ledger)
+        set_decisions(previous_ledger)
+        set_blackbox(previous_blackbox)
+    if flush_reason is None:
+        # cmd_merge marks runs whose groups were demoted by worker
+        # crashes or other infrastructure faults.
+        flush_reason = getattr(args, "_blackbox_reason", None)
+    if flush_reason is not None:
+        _flush(flush_reason)
     for diagnostic in collector:
         print(diagnostic.format(), file=sys.stderr)
     _write_diagnostics(args.diagnostics, collector)
-    _write_observability(args, tracer, metrics, ledger, profiler=profiler)
+    _write_observability(args, tracer, metrics, ledger, profiler=profiler,
+                         blackbox_target=target)
     return code
 
 

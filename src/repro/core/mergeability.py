@@ -523,6 +523,7 @@ def _group_task(names):
     from contextlib import ExitStack
 
     from repro.checkpoint import serialize_outcome
+    from repro.obs.blackbox import BlackboxRecorder, get_blackbox, recording
     from repro.obs.explain import DecisionLedger, explaining
     from repro.obs.metrics import MetricsRegistry, collecting
     from repro.obs.profile import Profiler, get_profiler
@@ -531,6 +532,11 @@ def _group_task(names):
     ledger = DecisionLedger() if get_decisions().enabled else None
     registry = MetricsRegistry() if get_metrics().enabled else None
     sink = DiagnosticCollector()
+    # The worker's ring must be its own: the forked copy of the parent's
+    # flight recorder would die with the process, so the worker records
+    # into a fresh one and ships it home in the bundle for the parent to
+    # fold (exactly like the profiler payload below).
+    recorder = BlackboxRecorder() if get_blackbox().enabled else None
     # The parent's profiler enabled-flag survives the fork (thread-local
     # for the forking thread), but its cProfile session must not: the
     # worker profiles its own task on a fresh tracer+profiler pair and
@@ -538,7 +544,14 @@ def _group_task(names):
     profiler = Profiler() if get_profiler().enabled else None
     prof_tracer = None
     with ExitStack() as stack:
-        stack.enter_context(explaining(ledger))
+        if recorder is not None:
+            stack.enter_context(recording(recorder))
+            if ledger is not None:
+                ledger.add_listener(recorder)
+        if ledger is not None or recorder is None:
+            stack.enter_context(explaining(ledger))
+        else:
+            stack.enter_context(explaining(recorder.flight_ledger()))
         stack.enter_context(collecting(registry))
         if profiler is not None:
             prof_tracer = Tracer()
@@ -561,6 +574,8 @@ def _group_task(names):
     }
     if profiler is not None:
         bundle["profile"] = profiler.to_payload(tracer=prof_tracer)
+    if recorder is not None:
+        bundle["blackbox"] = recorder.to_payload()
     return bundle
 
 
@@ -982,6 +997,10 @@ def merge_all(netlist: Netlist, modes: Sequence[Mode],
                     profiler = get_profiler()
                     if profiler.enabled and bundle.get("profile"):
                         profiler.merge_payload(bundle["profile"])
+                    if bundle.get("blackbox"):
+                        from repro.obs.blackbox import get_blackbox
+
+                        get_blackbox().merge_payload(bundle["blackbox"])
                     for stored in bundle["outcomes"]:
                         o_names, o_result, o_error, o_repaired = \
                             _Checkpoint.restore_outcome(stored)

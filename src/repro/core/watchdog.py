@@ -71,6 +71,10 @@ class WatchdogBudget:
         if tracer.enabled:
             tracer.annotate(budget_exceeded=error.kind,
                             budget_engine=error.engine)
+        from repro.obs.blackbox import get_blackbox
+
+        get_blackbox().record("watchdog", engine=error.engine,
+                              limit=error.kind, detail=str(error)[:240])
         raise error
 
     def check_time(self, engine: str) -> None:

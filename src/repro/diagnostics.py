@@ -371,6 +371,15 @@ class DiagnosticCollector:
                           verdict=diagnostic.severity.value,
                           evidence=evidence, source=diagnostic.source,
                           details=dict(diagnostic.details))
+        # The always-on flight recorder keeps the last N diagnostics in
+        # its ring regardless of flags — they are the forensic backbone
+        # of a crash's blackbox.json.
+        from repro.obs.blackbox import get_blackbox
+
+        get_blackbox().record("diagnostic", code=diagnostic.code,
+                              severity=diagnostic.severity.value,
+                              source=diagnostic.source,
+                              message=diagnostic.message[:240])
         return diagnostic
 
     def report(self, code: str, message: str,

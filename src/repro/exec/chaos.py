@@ -248,6 +248,10 @@ class ChaosPlan:
             # Cache storage faults are applied by repro.cache at its own
             # strike points; to the execution engine they are inert.
             return None
+        from repro.obs.blackbox import get_blackbox
+
+        get_blackbox().record("chaos", fault=fault.kind, key=key,
+                              attempt=attempt, in_process=in_process)
         if fault.kind == "crash":
             if in_process:
                 raise ChaosCrashError(

@@ -19,10 +19,29 @@ Four layers, all free when disabled:
 HTML run report, :mod:`repro.obs.bench_diff` compares two benchmark
 snapshots, and :mod:`repro.obs.validate` schema-checks every artifact.
 
+On top of the opt-in layers, :mod:`repro.obs.blackbox` runs an
+**always-on flight recorder**: a bounded ring of recent frames, spans,
+decisions, diagnostics, and chaos strikes that costs nothing to keep
+and is flushed as ``blackbox.json`` only when a run dies abnormally
+(``repro-merge doctor`` renders the forensics).
+
 See docs/OBSERVABILITY.md for the span taxonomy, the metric name
-contract, the provenance record schema, and the decision-node schema.
+contract, the provenance record schema, the decision-node schema, and
+the artifact zoo index.
 """
 
+from repro.obs.blackbox import (
+    BLACKBOX_SCHEMA_VERSION,
+    BlackboxRecorder,
+    NullBlackbox,
+    causal_chain,
+    format_doctor_report,
+    get_blackbox,
+    load_blackbox,
+    recording,
+    set_blackbox,
+    thread_recording,
+)
 from repro.obs.explain import (
     DECISION_KINDS,
     DECISIONS_SCHEMA_VERSION,
@@ -77,6 +96,8 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BLACKBOX_SCHEMA_VERSION",
+    "BlackboxRecorder",
     "COUNT_BUCKETS",
     "DECISION_KINDS",
     "DECISIONS_SCHEMA_VERSION",
@@ -86,6 +107,7 @@ __all__ = [
     "METRIC_CONTRACT",
     "METRICS_SCHEMA_VERSION",
     "MetricsRegistry",
+    "NullBlackbox",
     "NullDecisions",
     "NullMetrics",
     "NullTracer",
@@ -102,21 +124,28 @@ __all__ = [
     "Span",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "causal_chain",
     "collecting",
     "explain",
     "explaining",
     "find_decisions",
     "format_chains",
+    "format_doctor_report",
+    "get_blackbox",
     "get_decisions",
     "get_metrics",
     "get_tracer",
     "group_subject",
+    "load_blackbox",
     "muted",
     "pair_subject",
+    "recording",
     "render_run_report",
+    "set_blackbox",
     "set_decisions",
     "set_metrics",
     "set_tracer",
+    "thread_recording",
     "tracing",
     "write_run_report",
 ]

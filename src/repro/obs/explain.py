@@ -237,6 +237,17 @@ class DecisionLedger(NullDecisions):
         self.strict_kinds = strict_kinds
         self.records: List[Decision] = []
         self._stack: List[Decision] = []
+        self._listeners: List[Any] = []
+
+    def add_listener(self, listener: Any) -> None:
+        """Register an observer notified of every recorded decision.
+
+        Mirrors ``Tracer.add_listener``: ``listener.decision_recorded``
+        is called once per :meth:`decide` (and per grafted worker
+        record).  The flight recorder (:mod:`repro.obs.blackbox`) uses
+        this to keep the last N decisions in its ring.
+        """
+        self._listeners.append(listener)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -264,6 +275,8 @@ class DecisionLedger(NullDecisions):
             parent=self._stack[-1] if self._stack else None,
             id=len(self.records), span=span, attrs=dict(attrs))
         self.records.append(decision)
+        for listener in self._listeners:
+            listener.decision_recorded(decision)
         return decision
 
     def frame(self, kind: str, subject: str, verdict: str = "",
@@ -306,6 +319,8 @@ class DecisionLedger(NullDecisions):
                 span=record.get("span", ""),
                 attrs=dict(record.get("attrs", {})))
             self.records.append(decision)
+            for listener in self._listeners:
+                listener.decision_recorded(decision)
             if "id" in record:
                 id_map[record["id"]] = decision
             grafted.append(decision)

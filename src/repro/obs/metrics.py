@@ -177,6 +177,10 @@ METRIC_CONTRACT: Dict[str, Tuple[str, str]] = {
     "serve.drains": ("counter", "graceful drains initiated"),
     "serve.job_seconds": (
         "histogram", "wall-clock seconds per job, submit to terminal"),
+    "serve.admit_seconds": (
+        "histogram", "seconds spent in admission control per submission"),
+    "serve.blackboxes_retained": (
+        "counter", "per-job flight-recorder artifacts kept for failed jobs"),
     # -- profiler hot-loop counters (repro.obs.profile) ----------------
     "profile.mock_merges": (
         "counter", "mock merges attempted by the mergeability scan"),
@@ -385,7 +389,11 @@ class MetricsRegistry(NullMetrics):
             lines.append(f"# TYPE {prom} {kind}")
 
         for name in sorted(self._counters):
-            prom = _prom_name(name)
+            # Counters carry the `_total` suffix (on the HELP/TYPE
+            # metadata and the sample line alike) so standard burn-rate
+            # recording rules — written against prometheus_client
+            # conventions — apply unchanged.
+            prom = _prom_name(name) + "_total"
             emit_meta(name, prom, "counter")
             lines.append(f"{prom} {_prom_value(self._counters[name])}")
         for name in sorted(self._gauges):
@@ -400,7 +408,7 @@ class MetricsRegistry(NullMetrics):
             for bound, count in zip(hist.buckets, hist.counts):
                 cumulative += count
                 lines.append(
-                    f'{prom}_bucket{{le="{_prom_value(bound)}"}} '
+                    f'{prom}_bucket{{le="{_prom_le(bound)}"}} '
                     f"{cumulative}")
             lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
             lines.append(f"{prom}_sum {_prom_value(hist.sum)}")
@@ -471,6 +479,20 @@ class TeeMetrics(NullMetrics):
 
 def _prom_name(name: str) -> str:
     return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_le(bound: float) -> str:
+    """Canonical ``le`` label value for a histogram bucket bound.
+
+    Prometheus treats ``le`` as an opaque string: ``le="1"`` and
+    ``le="1.0"`` are *different* series, and recording rules written
+    against prometheus_client output expect the float spelling.  So
+    bucket bounds always render via ``repr(float(...))`` — never the
+    integer-collapsed form `_prom_value` uses for sample values.
+    """
+    if bound == float("inf"):
+        return "+Inf"
+    return repr(float(bound))
 
 
 def _prom_value(value: float) -> str:

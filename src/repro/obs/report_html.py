@@ -78,7 +78,7 @@ def _span_rows(tracer) -> List[Dict[str, Any]]:
 
 
 def build_report_payload(run=None, tracer=None, metrics=None,
-                         decisions=None, profile=None,
+                         decisions=None, profile=None, artifacts=None,
                          title: str = "repro merge run") -> Dict[str, Any]:
     """The machine-readable payload embedded in (and driving) the HTML."""
     payload: Dict[str, Any] = {
@@ -86,6 +86,9 @@ def build_report_payload(run=None, tracer=None, metrics=None,
         "kind": "repro-run-report",
         "title": title,
     }
+    if artifacts:
+        payload["artifacts"] = {str(k): str(v)
+                                for k, v in sorted(artifacts.items())}
     if run is not None:
         payload["run"] = run.to_dict()
     payload["trace"] = _span_rows(tracer)
@@ -134,6 +137,24 @@ def _render_groups(run: Dict[str, Any]) -> List[str]:
             f"<td>{'yes' if group.get('restored') else ''}</td>"
             f"<td>{_esc(result.get('constraint_count', ''))}</td>"
             f"<td>{_esc(group.get('error') or '')}</td>"
+            "</tr>")
+    out.append("</table>")
+    return out
+
+
+def _render_artifacts(artifacts: Dict[str, str]) -> List[str]:
+    """Relative links to the sibling artifacts of the same run.
+
+    Relative hrefs keep the report self-contained for the validator
+    (which only rejects ``http(s)://`` references).
+    """
+    out = ["<h2>Run artifacts</h2>", "<table>",
+           "<tr><th>Kind</th><th>File</th></tr>"]
+    for label, href in artifacts.items():
+        out.append(
+            "<tr>"
+            f"<td>{_esc(label)}</td>"
+            f"<td><a href=\"{_esc(href)}\">{_esc(href)}</a></td>"
             "</tr>")
     out.append("</table>")
     return out
@@ -302,16 +323,19 @@ def _render_profile(profile: Dict[str, Any]) -> List[str]:
 
 
 def render_run_report(run=None, tracer=None, metrics=None, decisions=None,
-                      profile=None,
+                      profile=None, artifacts=None,
                       title: str = "repro merge run") -> str:
     """One self-contained HTML page covering every observability layer."""
     payload = build_report_payload(run, tracer, metrics, decisions,
-                                   profile=profile, title=title)
+                                   profile=profile, artifacts=artifacts,
+                                   title=title)
     run_dict = payload.get("run", {})
     body: List[str] = [f"<h1>{_esc(title)}</h1>"]
     if run_dict:
         body += _render_summary(run_dict)
         body += _render_groups(run_dict)
+    if payload.get("artifacts"):
+        body += _render_artifacts(payload["artifacts"])
     body += _render_trace(payload.get("trace", []))
     if "metrics" in payload:
         body += _render_metrics(payload["metrics"])
@@ -343,8 +367,9 @@ def render_run_report(run=None, tracer=None, metrics=None, decisions=None,
 
 
 def write_run_report(path, run=None, tracer=None, metrics=None,
-                     decisions=None, profile=None,
+                     decisions=None, profile=None, artifacts=None,
                      title: str = "repro merge run") -> None:
     with open(path, "w") as handle:
         handle.write(render_run_report(run, tracer, metrics, decisions,
-                                       profile=profile, title=title))
+                                       profile=profile, artifacts=artifacts,
+                                       title=title))

@@ -228,7 +228,12 @@ def render_trends_html(payload: dict) -> str:
     summary = payload["summary"]
     break_at = {entry["index"]: entry["changed"]
                 for entry in payload["breaks"]}
-    head_cells = "".join(f"<th>{_esc(label)}</th>" for label in labels)
+    # Column headers link back to the underlying BENCH_*.json snapshot
+    # (file paths, not URLs, so the artifact stays self-contained).
+    head_cells = "".join(
+        f"<th><a href=\"{_esc(snap['path'])}\">{_esc(snap['label'])}</a>"
+        f"</th>" if snap.get("path") else f"<th>{_esc(snap['label'])}</th>"
+        for snap in payload["snapshots"])
     rows = []
     for name, entry in sorted(payload["series"].items()):
         values, markers = entry["values"], entry["markers"]

@@ -10,7 +10,8 @@ Usable as a module::
 
     python -m repro.obs.validate --trace t.json --metrics m.json \
         --explain d.json --html report.html --profile p.json \
-        --trends trends.json --trends-html trends.html
+        --trends trends.json --trends-html trends.html \
+        --blackbox blackbox.json
 """
 
 from __future__ import annotations
@@ -19,10 +20,15 @@ import json
 import sys
 from typing import List
 
+from repro.obs.blackbox import BLACKBOX_KIND, BLACKBOX_SCHEMA_VERSION
 from repro.obs.explain import DECISION_KINDS, DECISIONS_SCHEMA_VERSION
 from repro.obs.metrics import METRIC_CONTRACT, METRICS_SCHEMA_VERSION
 from repro.obs.profile import PROFILE_SCHEMA_VERSION
-from repro.obs.report_html import HTML_REPORT_MARKER
+from repro.obs.provenance import PROVENANCE_SCHEMA_VERSION
+from repro.obs.report_html import (
+    HTML_REPORT_MARKER,
+    REPORT_HTML_SCHEMA_VERSION,
+)
 from repro.obs.trace import TRACE_SCHEMA_VERSION
 from repro.obs.trends import TRENDS_HTML_MARKER, TRENDS_SCHEMA_VERSION
 
@@ -369,6 +375,78 @@ def validate_trends(text: str) -> List[str]:
     return problems
 
 
+def validate_blackbox(text: str) -> List[str]:
+    """Problems with a flight-recorder ``blackbox.json`` artifact."""
+    try:
+        record = json.loads(text)
+    except ValueError as exc:
+        return [f"not JSON: {exc}"]
+    problems: List[str] = []
+    if record.get("kind") != BLACKBOX_KIND:
+        problems.append(f"kind is {record.get('kind')!r}, "
+                        f"expected {BLACKBOX_KIND!r}")
+    if record.get("schema_version") != BLACKBOX_SCHEMA_VERSION:
+        problems.append(f"schema_version is "
+                        f"{record.get('schema_version')!r}, expected "
+                        f"{BLACKBOX_SCHEMA_VERSION}")
+    reason = record.get("reason")
+    if not isinstance(reason, dict) or not reason.get("kind"):
+        problems.append("reason is missing or has no kind")
+    env = record.get("environment")
+    if not isinstance(env, dict):
+        problems.append("environment is missing or not an object")
+    else:
+        for key in ("version", "python", "pid", "argv"):
+            if key not in env:
+                problems.append(f"environment missing {key!r}")
+    events = record.get("events")
+    if not isinstance(events, list):
+        return problems + ["events is missing or not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        if not event.get("kind"):
+            problems.append(f"event {i} has no kind")
+        if not isinstance(event.get("t"), (int, float)) \
+                or event.get("t", 0) < 0:
+            problems.append(f"event {i} t is missing or negative")
+    for key in ("open_frames", "open_spans"):
+        if not isinstance(record.get(key), list):
+            problems.append(f"{key} is missing or not a list")
+    if not isinstance(record.get("frame_seconds"), dict):
+        problems.append("frame_seconds is missing or not an object")
+    dropped = record.get("dropped")
+    if not isinstance(dropped, int) or dropped < 0:
+        problems.append("dropped is missing or negative")
+    if not isinstance(record.get("uptime_seconds"), (int, float)):
+        problems.append("uptime_seconds is missing")
+    return problems
+
+
+#: Every observability artifact kind: (kind, schema version, producing
+#: flag/verb, validator switch).  docs/OBSERVABILITY.md renders this as
+#: the "artifact zoo" table and a contract test keeps the two in sync —
+#: adding an artifact without documenting it fails CI.
+ARTIFACT_ZOO = (
+    ("trace", TRACE_SCHEMA_VERSION, "--trace OUT.json[l]", "--trace"),
+    ("metrics", METRICS_SCHEMA_VERSION, "--metrics OUT.json", "--metrics"),
+    ("decisions", DECISIONS_SCHEMA_VERSION,
+     "--explain OUT.json / explain verb", "--explain"),
+    ("provenance", PROVENANCE_SCHEMA_VERSION,
+     "--provenance (inside merge_report.json)", ""),
+    ("profile", PROFILE_SCHEMA_VERSION, "--profile OUT.json", "--profile"),
+    ("trends", TRENDS_SCHEMA_VERSION, "bench-trends verb", "--trends"),
+    ("trends.html", TRENDS_SCHEMA_VERSION, "bench-trends --html",
+     "--trends-html"),
+    ("blackbox", BLACKBOX_SCHEMA_VERSION,
+     "always on; flushed on abnormal exit (doctor verb reads it)",
+     "--blackbox"),
+    ("report.html", REPORT_HTML_SCHEMA_VERSION, "--report-html OUT.html",
+     "--html"),
+)
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -383,12 +461,15 @@ def main(argv=None) -> int:
     parser.add_argument("--trends", help="trend analytics JSON file")
     parser.add_argument("--trends-html",
                         help="self-contained HTML trend report")
+    parser.add_argument("--blackbox",
+                        help="flight-recorder blackbox JSON file")
     args = parser.parse_args(argv)
     if not any((args.trace, args.metrics, args.explain, args.html,
-                args.profile, args.trends, args.trends_html)):
+                args.profile, args.trends, args.trends_html,
+                args.blackbox)):
         parser.error("nothing to validate: pass --trace, --metrics, "
-                     "--explain, --html, --profile, --trends and/or "
-                     "--trends-html")
+                     "--explain, --html, --profile, --trends, "
+                     "--trends-html and/or --blackbox")
 
     failed = False
     for label, path, check in (("trace", args.trace, validate_trace),
@@ -398,7 +479,9 @@ def main(argv=None) -> int:
                                ("profile", args.profile, validate_profile),
                                ("trends", args.trends, validate_trends),
                                ("trends-html", args.trends_html,
-                                validate_trends_html)):
+                                validate_trends_html),
+                               ("blackbox", args.blackbox,
+                                validate_blackbox)):
         if not path:
             continue
         with open(path) as handle:

@@ -14,10 +14,13 @@ handler.  Routes:
 ``GET  /api/jobs/<id>/artifacts/<name>``        artifact content
 ``GET  /api/health``                            liveness + queue snapshot,
                                                 service version, uptime,
-                                                jobs admitted/completed
+                                                jobs admitted/completed,
+                                                overall SLO state
 ``GET  /api/metrics``                           Prometheus text exposition
                                                 of the service registry —
                                                 scrapeable while jobs run
+``GET  /api/slo``                               burn-rate evaluation of
+                                                every declared SLO
 ==============================================  =============================
 
 Admission rejections surface as their mapped HTTP status with a stable
@@ -99,6 +102,8 @@ class ServeAPIHandler(BaseHTTPRequestHandler):
         try:
             if parts == ("api", "health"):
                 self._send_json(200, self.service.health())
+            elif parts == ("api", "slo"):
+                self._send_json(200, self.service.slo_payload())
             elif parts == ("api", "metrics"):
                 body = self.service.metrics_text().encode()
                 self.send_response(200)

@@ -136,7 +136,8 @@ class Job:
                                                  self.progress_total))
         if event == "fail":
             self.error = str(record.get("error", self.error)) or self.error
-        if event == "finish":
+        if event in ("fail", "finish"):
+            # failed jobs may retain forensic artifacts (blackbox.json)
             self.artifacts = list(record.get("artifacts", self.artifacts))
         self.updated = float(record.get("t", time.time()))
 

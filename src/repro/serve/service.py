@@ -48,6 +48,11 @@ from repro.errors import AdmissionError, ExecInterrupted
 from repro.exec.chaos import CACHE_FAULT_KINDS, ChaosPlan
 from repro.exec.gate import FairSlotGate
 from repro.netlist import read_verilog
+from repro.obs.blackbox import (
+    BlackboxRecorder,
+    get_blackbox,
+    thread_recording,
+)
 from repro.obs.explain import DecisionLedger, thread_explaining
 from repro.obs.metrics import (
     METRIC_CONTRACT,
@@ -68,6 +73,7 @@ from repro.serve.jobs import (
     validate_payload,
 )
 from repro.serve.journal import JobJournal, JournalError
+from repro.serve.slo import SLOEngine
 
 
 @dataclass
@@ -98,6 +104,10 @@ class ServeConfig:
     #: profile every job and write a per-job ``profile.json`` artifact;
     #: individual submissions can override with ``options.profile``
     profile_jobs: bool = False
+    #: burn-rate evaluation windows, seconds (fast must be <= slow);
+    #: see :class:`repro.serve.slo.SLOEngine`
+    slo_fast_window: float = 30.0
+    slo_slow_window: float = 120.0
 
 
 class _StopSignal:
@@ -153,6 +163,8 @@ class ServeChaos:
         self.counts[key] = attempt
         self.journal.append("chaos", key=key, attempt=attempt,
                             kind=fault.kind)
+        get_blackbox().record("chaos", fault=fault.kind, key=key,
+                              attempt=attempt)
         if fault.kind == "crash":
             os.kill(os.getpid(), signal.SIGKILL)
         elif fault.kind == "hang":
@@ -194,6 +206,8 @@ class MergeService:
         self._owns_ambient_metrics = False
         self._previous_metrics: Optional[MetricsRegistry] = None
         self._started_monotonic: Optional[float] = None
+        #: burn-rate SLO engine over the service registry (start())
+        self.slo: Optional[SLOEngine] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -219,6 +233,9 @@ class MergeService:
             for name in METRIC_CONTRACT:
                 if name.partition(".")[0] in ("serve", "exec", "cache"):
                     self.metrics.declare(name)
+        self.slo = SLOEngine(self.metrics,
+                             fast_window=self.config.slo_fast_window,
+                             slow_window=self.config.slo_slow_window)
         if self.config.cache_root:
             from repro.cache import ResultCache
 
@@ -311,6 +328,17 @@ class MergeService:
         before this returns.  A journal fault fails the submission
         closed (``SRV003``) — the client knows the job was NOT accepted.
         """
+        admit_started = time.monotonic()
+        try:
+            return self._submit(payload)
+        finally:
+            # Admission latency feeds the admission-latency SLO; it is
+            # observed on every outcome — a hung journal fsync on the
+            # reject path is exactly what the SLO must see.
+            get_metrics().observe("serve.admit_seconds",
+                                  time.monotonic() - admit_started)
+
+    def _submit(self, payload: object) -> dict:
         metrics = get_metrics()
         if self.draining:
             metrics.inc("serve.jobs_rejected")
@@ -380,16 +408,27 @@ class MergeService:
         uptime = 0.0 if self._started_monotonic is None \
             else time.monotonic() - self._started_monotonic
         metrics = self.metrics
+        slo_state = self.slo.state() if self.slo is not None else "no-data"
         return {"ok": True, "draining": draining, "jobs": by_state,
                 "queue_depth": self._queue.qsize(),
                 "version": __version__,
                 "uptime_seconds": round(uptime, 3),
+                "slo": slo_state,
                 "jobs_admitted": int(
                     metrics.counter("serve.jobs_submitted"))
                 if metrics is not None else 0,
                 "jobs_completed": int(
                     metrics.counter("serve.jobs_completed"))
                 if metrics is not None else 0}
+
+    def slo_payload(self) -> dict:
+        """Full burn-rate evaluation (GET /api/slo)."""
+        if self.slo is None:
+            from repro.serve.slo import SLO_SCHEMA_VERSION
+
+            return {"schema_version": SLO_SCHEMA_VERSION,
+                    "kind": "repro-slo", "state": "no-data", "slos": []}
+        return self.slo.evaluate()
 
     def metrics_text(self) -> str:
         """The service registry as Prometheus text (GET /api/metrics)."""
@@ -514,7 +553,15 @@ class MergeService:
 
     def _fail(self, job: Job, exc: BaseException) -> None:
         job.error = f"{code_for_error(exc)}: {exc}"
-        self._journal_progress("fail", job, error=job.error)
+        if (job.directory / "artifacts" / "blackbox.json").is_file():
+            # Failed jobs keep their flight recorder: surface it in the
+            # artifact listing (journaled, so replay restores it) and
+            # count the retention.
+            if "blackbox.json" not in job.artifacts:
+                job.artifacts.append("blackbox.json")
+            get_metrics().inc("serve.blackboxes_retained")
+        self._journal_progress("fail", job, error=job.error,
+                               artifacts=job.artifacts)
         self.collector.capture(exc, source=job.id)
         self._finish_metrics(job, "serve.jobs_failed")
 
@@ -556,10 +603,6 @@ class MergeService:
         netlist_text = payload["netlist"]
         sdc_texts = payload["modes"]
         job_collector = DiagnosticCollector(self.policy)
-        netlist = read_verilog(netlist_text)
-        modes = [parse_mode(text, name, policy=self.policy,
-                            collector=job_collector, source=name)
-                 for name, text in sorted(sdc_texts.items())]
         options = MergeOptions(
             policy=self.policy,
             budget_seconds=self.config.job_budget_seconds,
@@ -590,42 +633,78 @@ class MergeService:
         job_metrics = registry if self.metrics is None \
             else TeeMetrics(registry, self.metrics)
         profiler = Profiler() if want_profile else None
+        # Each attempt gets a fresh per-job flight recorder; a failing
+        # attempt flushes it into the job's artifacts directory so the
+        # forensics ride along with the job, not the server process.
+        recorder = BlackboxRecorder()
+        tracer.add_listener(recorder)
+        ledger.add_listener(recorder)
         if profiler is not None:
             tracer.add_listener(profiler)
-        with thread_tracing(tracer), thread_collecting(job_metrics), \
-                thread_explaining(ledger), thread_profiling(profiler):
-            if profiler is not None:
-                profiler.start()
-            try:
-                with tracer.span("serve:job", job=job.id,
-                                 modes=[m.name for m in modes],
-                                 attempt=job.attempts):
-                    checkpoint = MergeCheckpoint.open(
-                        job.directory / "run.ckpt",
-                        input_hash=content_hash(
-                            netlist_text,
-                            *(sdc_texts[k] for k in sorted(sdc_texts))),
-                        collector=job_collector)
-                    chaos, original_save = self.chaos, checkpoint.save
-
-                    def striking_save():
-                        chaos.strike("serve:ckpt")
-                        original_save()
-
-                    checkpoint.save = striking_save
-                    run = merge_all(netlist, modes, options,
-                                    collector=job_collector,
-                                    checkpoint=checkpoint,
-                                    jobs=self.config.jobs,
-                                    cache=self.cache)
-            finally:
+        try:
+            with thread_tracing(tracer), thread_collecting(job_metrics), \
+                    thread_explaining(ledger), thread_profiling(profiler), \
+                    thread_recording(recorder):
                 if profiler is not None:
-                    profiler.stop()
-        self.chaos.strike("serve:finalize")
+                    profiler.start()
+                try:
+                    # Parse inside the guarded region: an unparseable
+                    # submission is exactly the kind of failure the
+                    # per-job flight recorder must document.
+                    netlist = read_verilog(netlist_text)
+                    modes = [parse_mode(text, name, policy=self.policy,
+                                        collector=job_collector,
+                                        source=name)
+                             for name, text in sorted(sdc_texts.items())]
+                    with tracer.span("serve:job", job=job.id,
+                                     modes=[m.name for m in modes],
+                                     attempt=job.attempts):
+                        checkpoint = MergeCheckpoint.open(
+                            job.directory / "run.ckpt",
+                            input_hash=content_hash(
+                                netlist_text,
+                                *(sdc_texts[k]
+                                  for k in sorted(sdc_texts))),
+                            collector=job_collector)
+                        chaos, original_save = self.chaos, checkpoint.save
+
+                        def striking_save():
+                            chaos.strike("serve:ckpt")
+                            original_save()
+
+                        checkpoint.save = striking_save
+                        run = merge_all(netlist, modes, options,
+                                        collector=job_collector,
+                                        checkpoint=checkpoint,
+                                        jobs=self.config.jobs,
+                                        cache=self.cache)
+                finally:
+                    if profiler is not None:
+                        profiler.stop()
+            self.chaos.strike("serve:finalize")
+        except ExecInterrupted:
+            # Clean drain/cancel: the job resumes later, nothing is wrong.
+            raise
+        except BaseException as exc:
+            recorder.flush(
+                job.directory / "artifacts" / "blackbox.json",
+                reason={"kind": "job-fault", "job": job.id,
+                        "attempt": job.attempts,
+                        "detail": f"{type(exc).__name__}: {exc}"[:240]},
+                metrics=registry)
+            raise
         self._journal_progress("finalize", job)
         job.artifacts = self._write_artifacts(
             job, run, tracer, registry, ledger, job_collector,
             profiler=profiler)
+        # A successful attempt supersedes any forensics a failed earlier
+        # attempt left behind: blackboxes are retained for failed jobs.
+        stale = job.directory / "artifacts" / "blackbox.json"
+        if stale.exists():
+            try:
+                stale.unlink()
+            except OSError:
+                pass
 
     def _write_artifacts(self, job: Job, run, tracer, registry, ledger,
                          job_collector, profiler=None) -> List[str]:

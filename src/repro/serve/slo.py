@@ -1,0 +1,255 @@
+"""Declarative SLOs with multi-window burn-rate alerting for the serve
+stack.
+
+An :class:`SLODefinition` names a service-level objective over the live
+:class:`~repro.obs.metrics.MetricsRegistry` backing ``GET /api/metrics``:
+
+* ``ratio`` SLOs divide a *good-event* counter by a set of counters
+  whose sum is the total (e.g. job success = completed / (completed +
+  failed); cancelled jobs are the caller's choice, not a failure);
+* ``latency`` SLOs read a histogram and count an event as good when it
+  landed in a bucket at or below the threshold — the same cumulative
+  buckets Prometheus scrapes, so the numbers agree with external
+  recording rules.
+
+The :class:`SLOEngine` keeps a short in-memory history of counter
+snapshots and evaluates each SLO's **burn rate** — the observed error
+rate divided by the error budget ``1 - objective`` — over two windows
+(fast and slow, Google SRE-workbook style).  A burn of 1.0 spends the
+budget exactly at the objective's pace; sustained burns far above it
+page.  Requiring *both* windows to burn keeps one transient blip from
+flapping the alert, while a genuinely broken service trips within one
+fast window.  The result surfaces on ``GET /api/slo`` (full payload)
+and folds a one-line state into ``GET /api/health`` so existing
+liveness probes see degradation without learning a new endpoint.
+
+Windows shorter than the service's uptime are clamped to it: a
+just-restarted service evaluates over what it has actually seen rather
+than reporting a vacuous "ok".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+#: Version of the ``GET /api/slo`` payload.
+SLO_SCHEMA_VERSION = 1
+
+#: Burn rate (in both windows) at which an SLO counts as degraded.
+#: 6x spends a 30-day budget in ~5 days — worth waking someone up.
+BURN_DEGRADED = 6.0
+
+#: Burn rate at which an SLO counts as critical: 14.4x spends a 30-day
+#: budget in ~2 days (the classic fast-burn page threshold).
+BURN_CRITICAL = 14.4
+
+_STATE_RANK = {"ok": 0, "no-data": 0, "degraded": 1, "critical": 2}
+
+
+@dataclass(frozen=True)
+class SLODefinition:
+    """One objective over the service metrics registry."""
+
+    name: str
+    objective: float
+    description: str
+    kind: str = "ratio"                  # "ratio" | "latency"
+    good: str = ""                       # ratio: good-event counter
+    total: Tuple[str, ...] = ()          # ratio: counters summing to total
+    histogram: str = ""                  # latency: histogram name
+    threshold_seconds: float = 0.0       # latency: good means <= this
+
+    def __post_init__(self):
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"SLO {self.name!r}: objective must be in (0, 1), "
+                f"got {self.objective}")
+        if self.kind == "ratio":
+            if not self.good or not self.total:
+                raise ValueError(
+                    f"SLO {self.name!r}: ratio SLOs need good and total "
+                    f"counter names")
+        elif self.kind == "latency":
+            if not self.histogram or self.threshold_seconds <= 0:
+                raise ValueError(
+                    f"SLO {self.name!r}: latency SLOs need a histogram "
+                    f"and a positive threshold")
+        else:
+            raise ValueError(
+                f"SLO {self.name!r}: unknown kind {self.kind!r}")
+
+    def counts(self, registry) -> Tuple[float, float]:
+        """Cumulative (good, total) event counts right now."""
+        if self.kind == "ratio":
+            good = float(registry.counter(self.good) or 0.0)
+            total = sum(float(registry.counter(name) or 0.0)
+                        for name in self.total)
+            return good, total
+        hist = registry.histogram(self.histogram)
+        if not hist:
+            return 0.0, 0.0
+        good = 0.0
+        for bound, count in zip(hist.get("buckets", ()),
+                                hist.get("counts", ())):
+            if bound <= self.threshold_seconds:
+                good += count
+        return good, float(hist.get("count", 0))
+
+
+#: The serve stack's shipped objectives.  Deliberately loose enough for
+#: CI boxes — these alert on *broken*, not on *slow hardware*.
+DEFAULT_SLOS: Tuple[SLODefinition, ...] = (
+    SLODefinition(
+        name="job-success", objective=0.95, kind="ratio",
+        good="serve.jobs_completed",
+        total=("serve.jobs_completed", "serve.jobs_failed"),
+        description="submitted jobs reach done (cancelled excluded)"),
+    SLODefinition(
+        name="admission-latency", objective=0.99, kind="latency",
+        histogram="serve.admit_seconds", threshold_seconds=0.25,
+        description="submissions acknowledged within 250 ms"),
+    SLODefinition(
+        name="merge-latency", objective=0.90, kind="latency",
+        histogram="serve.job_seconds", threshold_seconds=60.0,
+        description="jobs reach a terminal state within 60 s"),
+)
+
+
+@dataclass
+class _Sample:
+    t: float
+    counts: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+
+class SLOEngine:
+    """Evaluate burn rates over a registry, keeping its own history.
+
+    The engine is pull-driven: every :meth:`evaluate` takes a fresh
+    snapshot, prunes history past the slow window, and computes each
+    SLO's burn over both windows.  No background thread, no extra
+    instrumentation on the hot path — the cost lives entirely on the
+    (rare) ``/api/slo`` and ``/api/health`` reads.
+    """
+
+    def __init__(self, registry,
+                 slos: Tuple[SLODefinition, ...] = DEFAULT_SLOS,
+                 fast_window: float = 30.0, slow_window: float = 120.0,
+                 clock=time.monotonic):
+        if fast_window <= 0 or slow_window < fast_window:
+            raise ValueError("windows must satisfy 0 < fast <= slow")
+        self.registry = registry
+        self.slos = tuple(slos)
+        self.fast_window = float(fast_window)
+        self.slow_window = float(slow_window)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._samples: Deque[_Sample] = deque()
+        self._t0 = clock()
+
+    # -- sampling -------------------------------------------------------
+    def _snapshot(self) -> _Sample:
+        sample = _Sample(t=self._clock())
+        for slo in self.slos:
+            sample.counts[slo.name] = slo.counts(self.registry)
+        return sample
+
+    def _prune(self, now: float) -> None:
+        # Keep one sample older than the slow window so a window that
+        # reaches past the newest in-window sample still has an anchor.
+        while len(self._samples) >= 2 \
+                and now - self._samples[1].t > self.slow_window:
+            self._samples.popleft()
+
+    def _anchor(self, now: float, window: float) -> Optional[_Sample]:
+        """The newest sample at least ``window`` old (else the oldest)."""
+        anchor = None
+        for sample in self._samples:
+            if now - sample.t >= window:
+                anchor = sample
+            else:
+                break
+        if anchor is None and self._samples:
+            anchor = self._samples[0]
+        return anchor
+
+    # -- evaluation -----------------------------------------------------
+    @staticmethod
+    def _burn(delta_good: float, delta_total: float,
+              objective: float) -> Tuple[float, float]:
+        """(error_rate, burn) for one window's event deltas."""
+        if delta_total <= 0:
+            return 0.0, 0.0
+        error_rate = max(0.0, 1.0 - delta_good / delta_total)
+        return error_rate, error_rate / (1.0 - objective)
+
+    def _window_report(self, slo: SLODefinition, latest: _Sample,
+                       window: float) -> Dict[str, Any]:
+        anchor = self._anchor(latest.t, window)
+        if anchor is None or anchor is latest:
+            # No usable history: evaluate over the whole uptime (a
+            # freshly started service has nothing older to diff against).
+            anchor_counts = (0.0, 0.0)
+        else:
+            anchor_counts = anchor.counts[slo.name]
+        good_now, total_now = latest.counts[slo.name]
+        delta_good = good_now - anchor_counts[0]
+        delta_total = total_now - anchor_counts[1]
+        error_rate, burn = self._burn(delta_good, delta_total,
+                                      slo.objective)
+        return {
+            "window_seconds": round(min(window, latest.t - self._t0), 3),
+            "events": round(delta_total, 6),
+            "error_rate": round(error_rate, 6),
+            "burn_rate": round(burn, 3),
+        }
+
+    def evaluate(self) -> Dict[str, Any]:
+        """Snapshot, evaluate every SLO, and report the overall state."""
+        with self._lock:
+            latest = self._snapshot()
+            self._samples.append(latest)
+            self._prune(latest.t)
+            reports: List[Dict[str, Any]] = []
+            overall = "ok"
+            for slo in self.slos:
+                fast = self._window_report(slo, latest, self.fast_window)
+                slow = self._window_report(slo, latest, self.slow_window)
+                good, total = latest.counts[slo.name]
+                if total <= 0:
+                    state = "no-data"
+                elif fast["burn_rate"] >= BURN_CRITICAL \
+                        and slow["burn_rate"] >= BURN_CRITICAL:
+                    state = "critical"
+                elif fast["burn_rate"] >= BURN_DEGRADED \
+                        and slow["burn_rate"] >= BURN_DEGRADED:
+                    state = "degraded"
+                else:
+                    state = "ok"
+                if _STATE_RANK[state] > _STATE_RANK[overall]:
+                    overall = state
+                reports.append({
+                    "name": slo.name,
+                    "description": slo.description,
+                    "kind": slo.kind,
+                    "objective": slo.objective,
+                    "state": state,
+                    "good_events": round(good, 6),
+                    "total_events": round(total, 6),
+                    "windows": {"fast": fast, "slow": slow},
+                })
+            return {
+                "schema_version": SLO_SCHEMA_VERSION,
+                "kind": "repro-slo",
+                "state": overall,
+                "burn_thresholds": {"degraded": BURN_DEGRADED,
+                                    "critical": BURN_CRITICAL},
+                "slos": reports,
+            }
+
+    def state(self) -> str:
+        """Just the overall state (what /api/health embeds)."""
+        return self.evaluate()["state"]

@@ -14,7 +14,11 @@ one self-contained run, with no test framework:
    jobs must reach ``done``;
 5. fetch the artifacts, validate the observability set with
    :mod:`repro.obs.validate`, and require the merged SDCs to be
-   byte-identical to the reference.
+   byte-identical to the reference;
+6. submit a doomed job (unparseable netlist), require the SLO engine
+   (``GET /api/slo``) to flip to degraded/critical on the burn-rate
+   alert, and require the failed job to retain a valid per-job
+   flight-recorder artifact (``artifacts/blackbox.json``).
 
 Exit 0 on success; 1 with a problem report otherwise.  CI's chaos
 matrix runs this under each pinned seed.
@@ -210,6 +214,8 @@ def run_smoke(seed: int, chaos_clause: str, keep_root: str = "",
         problems.extend(_check_metrics_endpoint(server))
     if not problems:
         problems.extend(_check_artifacts(server, job_id, reference))
+    if not problems:
+        problems.extend(_check_slo_and_blackbox(server))
     server.kill()
 
     if problems:
@@ -278,11 +284,81 @@ def _check_metrics_endpoint(server: ServerHandle) -> List[str]:
     text = body.decode()
     problems = []
     for name in sorted(METRIC_CONTRACT):
+        kind = METRIC_CONTRACT[name][0]
         if name.partition(".")[0] not in ("serve", "exec", "cache"):
             continue
-        if _prom_name(name) not in text:
-            problems.append(f"/api/metrics is missing {name} "
-                            f"({_prom_name(name)})")
+        # Exact TYPE line: counters carry the Prometheus _total suffix.
+        prom = _prom_name(name) + ("_total" if kind == "counter" else "")
+        if f"# TYPE {prom} {kind}" not in text:
+            problems.append(f"/api/metrics is missing the "
+                            f"'# TYPE {prom} {kind}' line for {name}")
+    return problems
+
+
+def _check_slo_and_blackbox(server: ServerHandle) -> List[str]:
+    """Force-fail a job; the SLO burn-rate alert must trip and the
+    failed job must retain a valid flight-recorder artifact."""
+    problems: List[str] = []
+    status, body = _request(f"{server.base_url}/api/health")
+    if status != 200 or "slo" not in json.loads(body):
+        problems.append("/api/health does not embed the SLO state")
+    payload = {"netlist": "module broken ( this is not verilog",
+               "modes": {"m0": "create_clock -name CK -period 10"}}
+    status, body = _request(f"{server.base_url}/api/jobs", payload)
+    if status != 201:
+        return problems + [f"force-fail submit rejected with {status}: "
+                           f"{body.decode()[:120]}"]
+    job_id = json.loads(body)["id"]
+    print(f"smoke: submitted doomed job {job_id}", flush=True)
+    deadline = time.monotonic() + 120
+    state = ""
+    while time.monotonic() < deadline:
+        status, body = _request(f"{server.base_url}/api/jobs/{job_id}")
+        if status == 200:
+            state = json.loads(body)["state"]
+            if state in ("done", "failed", "cancelled"):
+                break
+        time.sleep(POLL_SECONDS)
+    if state != "failed":
+        return problems + [f"doomed job ended {state!r}, "
+                           f"wanted 'failed'"]
+    slo_state = ""
+    while time.monotonic() < deadline:
+        status, body = _request(f"{server.base_url}/api/slo")
+        if status != 200:
+            return problems + [f"/api/slo returned {status}"]
+        slo = json.loads(body)
+        if slo.get("kind") != "repro-slo" \
+                or slo.get("schema_version") != 1:
+            return problems + ["/api/slo payload is not repro-slo v1"]
+        slo_state = slo["state"]
+        if slo_state in ("degraded", "critical"):
+            job_success = next((s for s in slo["slos"]
+                                if s["name"] == "job-success"), {})
+            if job_success.get("state") not in ("degraded", "critical"):
+                problems.append("overall SLO alarmed but job-success "
+                                "did not")
+            break
+        time.sleep(POLL_SECONDS)
+    if slo_state not in ("degraded", "critical"):
+        problems.append(f"/api/slo state stayed {slo_state!r} after a "
+                        f"forced job failure")
+    else:
+        print(f"smoke: SLO flipped to {slo_state}", flush=True)
+    status, body = _request(
+        f"{server.base_url}/api/jobs/{job_id}/artifacts")
+    if status != 200:
+        return problems + [f"failed-job artifact listing "
+                           f"returned {status}"]
+    names = json.loads(body)["artifacts"]
+    if "blackbox.json" not in names:
+        return problems + ["failed job retained no blackbox.json"]
+    status, body = _request(
+        f"{server.base_url}/api/jobs/{job_id}/artifacts/blackbox.json")
+    if status != 200:
+        return problems + [f"blackbox.json fetch returned {status}"]
+    for issue in obs_validate.validate_blackbox(body.decode()):
+        problems.append(f"blackbox.json: {issue}")
     return problems
 
 

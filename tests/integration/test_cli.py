@@ -340,8 +340,8 @@ class TestObservabilityFlags:
                      "merge", str(netlist), str(mode_a), str(mode_b),
                      "-o", str(tmp / "out")]) == 0
         text = metrics.read_text()
-        assert "# TYPE repro_merge_runs counter" in text
-        assert "repro_merge_modes_in 2" in text
+        assert "# TYPE repro_merge_runs_total counter" in text
+        assert "repro_merge_modes_in_total 2" in text
 
     def test_merge_provenance_flag(self, files, capsys):
         tmp, netlist, mode_a, mode_b = files

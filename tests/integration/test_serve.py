@@ -249,13 +249,13 @@ class TestLiveTelemetry:
             for name in METRIC_CONTRACT:
                 if name.partition(".")[0] in ("serve", "exec", "cache"):
                     assert _prom_name(name) in text, name
-            assert "repro_serve_jobs_submitted 1" in text
+            assert "repro_serve_jobs_submitted_total 1" in text
             wait_terminal(service, submitted["id"])
             with urllib.request.urlopen(
                     f"http://{host}:{port}/api/metrics",
                     timeout=30) as response:
                 done_text = response.read().decode()
-            assert "repro_serve_jobs_completed 1" in done_text
+            assert "repro_serve_jobs_completed_total 1" in done_text
         finally:
             httpd.shutdown()
             httpd.server_close()

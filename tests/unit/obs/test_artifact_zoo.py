@@ -1,0 +1,80 @@
+"""Contract test: the artifact zoo registry, the docs table, the
+validator CLI, and ``repro-merge --version`` must agree.
+
+``repro.obs.validate.ARTIFACT_ZOO`` is the source of truth; this test
+fails whenever an artifact is added (or re-versioned) without updating
+the documentation, the validator switch, or the version banner.
+"""
+
+import re
+from pathlib import Path
+
+from repro.cli import _artifact_schema_versions
+from repro.obs.validate import ARTIFACT_ZOO
+
+DOCS = Path(__file__).parents[3] / "docs" / "OBSERVABILITY.md"
+
+
+def _zoo_table_rows():
+    """Parse the markdown table under the "Artifact zoo" heading."""
+    text = DOCS.read_text()
+    section = text.split("## Artifact zoo", 1)[1].split("\n## ", 1)[0]
+    rows = []
+    for line in section.splitlines():
+        cells = [c.strip().strip("`").strip()
+                 for c in line.strip().strip("|").split("|")]
+        if len(cells) == 4 and cells[0] not in ("kind", "---", ""):
+            rows.append(cells)
+    return rows
+
+
+class TestZooRegistry:
+    def test_every_kind_has_version_producer_and_unique_name(self):
+        kinds = [row[0] for row in ARTIFACT_ZOO]
+        assert len(kinds) == len(set(kinds))
+        for kind, version, producer, switch in ARTIFACT_ZOO:
+            assert kind and producer
+            assert isinstance(version, int) and version >= 1
+
+    def test_every_validator_switch_is_a_real_cli_switch(self):
+        import repro.obs.validate as validate
+
+        source = Path(validate.__file__).read_text()
+        for kind, _version, _producer, switch in ARTIFACT_ZOO:
+            if not switch:
+                continue
+            assert f'"{switch}"' in source, \
+                f"zoo switch {switch} for {kind!r} is not a " \
+                f"validator CLI argument"
+
+    def test_every_validator_cli_switch_is_in_the_zoo(self):
+        import repro.obs.validate as validate
+
+        source = Path(validate.__file__).read_text()
+        declared = set(re.findall(r'add_argument\("(--[a-z-]+)"',
+                                  source))
+        zoo_switches = {switch for *_ignored, switch in ARTIFACT_ZOO
+                        if switch}
+        assert declared == zoo_switches
+
+
+class TestDocsTable:
+    def test_docs_have_an_artifact_zoo_section(self):
+        assert "## Artifact zoo" in DOCS.read_text()
+
+    def test_docs_table_matches_the_registry_exactly(self):
+        documented = _zoo_table_rows()
+        expected = [[kind, str(version), producer, switch or "—"]
+                    for kind, version, producer, switch in ARTIFACT_ZOO]
+        assert documented == expected, \
+            "docs/OBSERVABILITY.md artifact-zoo table is out of sync " \
+            "with repro.obs.validate.ARTIFACT_ZOO"
+
+
+class TestVersionBanner:
+    def test_version_banner_covers_the_zoo(self):
+        versions = _artifact_schema_versions()
+        for kind, _version, _producer, _switch in ARTIFACT_ZOO:
+            base = kind.split(".", 1)[0]
+            assert base in versions or kind.replace(".", "-") in versions, \
+                f"--version does not report a schema version for {kind}"

@@ -78,9 +78,9 @@ class TestExport:
 
     def test_prometheus_text(self):
         text = self._registry().to_prometheus()
-        assert "# TYPE repro_merge_runs counter" in text
-        assert "repro_merge_runs 2" in text
-        assert "# HELP repro_merge_runs" in text
+        assert "# TYPE repro_merge_runs_total counter" in text
+        assert "repro_merge_runs_total 2" in text
+        assert "# HELP repro_merge_runs_total" in text
         assert "repro_merge_reduction_percent 50" in text
         assert 'repro_sta_run_seconds_bucket{le="+Inf"} 1' in text
         assert "repro_sta_run_seconds_count 1" in text
@@ -175,7 +175,7 @@ class TestDeclare:
         assert registry.gauge("serve.queue_depth") == 0.0
         assert registry.histogram("serve.job_seconds")["count"] == 0
         text = registry.to_prometheus()
-        assert "repro_serve_jobs_submitted 0" in text
+        assert "repro_serve_jobs_submitted_total 0" in text
         assert "repro_serve_job_seconds_count 0" in text
 
     def test_declare_never_resets_a_live_metric(self):

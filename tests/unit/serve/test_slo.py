@@ -1,0 +1,182 @@
+"""Unit tests for the serve SLO engine (repro.serve.slo)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.slo import (
+    BURN_CRITICAL,
+    BURN_DEGRADED,
+    DEFAULT_SLOS,
+    SLO_SCHEMA_VERSION,
+    SLODefinition,
+    SLOEngine,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, seconds):
+        self.t += seconds
+
+
+JOB_SUCCESS = SLODefinition(
+    name="job-success", objective=0.95, kind="ratio",
+    good="serve.jobs_completed",
+    total=("serve.jobs_completed", "serve.jobs_failed"),
+    description="jobs reach done")
+
+
+def engine(registry, clock, slos=(JOB_SUCCESS,), fast=10.0, slow=100.0):
+    return SLOEngine(registry, slos=slos, fast_window=fast,
+                     slow_window=slow, clock=clock)
+
+
+class TestDefinition:
+    def test_objective_must_be_a_proper_fraction(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError, match="objective"):
+                SLODefinition(name="x", objective=bad, kind="ratio",
+                              good="g", total=("g",), description="")
+
+    def test_ratio_needs_good_and_total(self):
+        with pytest.raises(ValueError, match="ratio"):
+            SLODefinition(name="x", objective=0.9, kind="ratio",
+                          description="")
+
+    def test_latency_needs_histogram_and_threshold(self):
+        with pytest.raises(ValueError, match="latency"):
+            SLODefinition(name="x", objective=0.9, kind="latency",
+                          description="")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            SLODefinition(name="x", objective=0.9, kind="gauge",
+                          description="")
+
+    def test_ratio_counts(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.jobs_completed", 7)
+        registry.inc("serve.jobs_failed", 3)
+        assert JOB_SUCCESS.counts(registry) == (7.0, 10.0)
+
+    def test_latency_counts_split_on_threshold_bucket(self):
+        slo = SLODefinition(
+            name="admit", objective=0.99, kind="latency",
+            histogram="serve.admit_seconds", threshold_seconds=0.25,
+            description="")
+        registry = MetricsRegistry()
+        for value in (0.01, 0.05, 0.6):
+            registry.observe("serve.admit_seconds", value)
+        good, total = slo.counts(registry)
+        assert (good, total) == (2.0, 3.0)
+
+    def test_latency_counts_with_no_histogram(self):
+        slo = DEFAULT_SLOS[1]
+        assert slo.counts(MetricsRegistry()) == (0.0, 0.0)
+
+
+class TestEngine:
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="windows"):
+            SLOEngine(MetricsRegistry(), fast_window=60, slow_window=30)
+
+    def test_no_events_is_no_data_not_ok_not_alarm(self):
+        payload = engine(MetricsRegistry(), FakeClock()).evaluate()
+        assert payload["slos"][0]["state"] == "no-data"
+        assert payload["state"] == "ok"
+
+    def test_all_good_is_ok(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.jobs_completed", 50)
+        assert engine(registry, FakeClock()).state() == "ok"
+
+    def test_total_failure_is_critical(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.jobs_failed", 10)
+        payload = engine(registry, FakeClock()).evaluate()
+        report = payload["slos"][0]
+        assert report["state"] == "critical"
+        assert payload["state"] == "critical"
+        # error rate 1.0 against a 5% budget burns at 20x.
+        assert report["windows"]["fast"]["burn_rate"] == 20.0
+
+    def test_transient_blip_needs_both_windows_to_alarm(self):
+        # A long good history dilutes the slow window: a burst of
+        # failures trips the fast window alone, which must NOT alarm.
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        slo_engine = engine(registry, clock)
+        slo_engine.evaluate()                      # anchor at t=0
+        clock.advance(30)
+        registry.inc("serve.jobs_completed", 1000)
+        slo_engine.evaluate()                      # good history at t=30
+        clock.advance(19)                          # t=49
+        registry.inc("serve.jobs_failed", 2)
+        payload = slo_engine.evaluate()
+        report = payload["slos"][0]
+        assert report["windows"]["fast"]["burn_rate"] >= BURN_CRITICAL
+        assert report["windows"]["slow"]["burn_rate"] < BURN_DEGRADED
+        assert report["state"] == "ok"
+
+    def test_sustained_burn_degrades(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        slo_engine = engine(registry, clock)
+        slo_engine.evaluate()
+        clock.advance(30)
+        registry.inc("serve.jobs_completed", 1000)
+        slo_engine.evaluate()
+        clock.advance(19)
+        registry.inc("serve.jobs_failed", 600)
+        payload = slo_engine.evaluate()
+        report = payload["slos"][0]
+        assert report["windows"]["fast"]["burn_rate"] >= BURN_CRITICAL
+        assert BURN_DEGRADED <= report["windows"]["slow"]["burn_rate"] \
+            < BURN_CRITICAL
+        assert report["state"] == "degraded"
+        assert payload["state"] == "degraded"
+
+    def test_recovery_clears_the_alarm(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        slo_engine = engine(registry, clock)
+        registry.inc("serve.jobs_failed", 10)
+        assert slo_engine.state() == "critical"
+        registry.inc("serve.jobs_completed", 10000)
+        clock.advance(5)
+        assert slo_engine.state() == "ok"
+
+    def test_history_is_pruned_past_the_slow_window(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        slo_engine = engine(registry, clock)
+        for _ in range(50):
+            slo_engine.evaluate()
+            clock.advance(10)
+        # one pre-window anchor + samples inside the slow window
+        assert len(slo_engine._samples) <= 100 / 10 + 2
+
+    def test_payload_shape(self):
+        payload = engine(MetricsRegistry(), FakeClock()).evaluate()
+        assert payload["schema_version"] == SLO_SCHEMA_VERSION
+        assert payload["kind"] == "repro-slo"
+        assert payload["burn_thresholds"] == {
+            "degraded": BURN_DEGRADED, "critical": BURN_CRITICAL}
+        report = payload["slos"][0]
+        for key in ("name", "description", "kind", "objective", "state",
+                    "good_events", "total_events", "windows"):
+            assert key in report
+        for window in report["windows"].values():
+            for key in ("window_seconds", "events", "error_rate",
+                        "burn_rate"):
+                assert key in window
+
+    def test_default_slos_cover_the_serve_contract(self):
+        names = {slo.name for slo in DEFAULT_SLOS}
+        assert names == {"job-success", "admission-latency",
+                         "merge-latency"}
