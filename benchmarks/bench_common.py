@@ -20,7 +20,6 @@ the pipeline uses — so :func:`write_bench_json` artifacts
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import platform
@@ -34,12 +33,15 @@ from repro.core.mergeability import MergingRun, merge_all
 from repro.obs.metrics import MetricsRegistry, collecting
 from repro.workloads.designs import paper_suite
 from repro.workloads.generator import Workload, generate
+from repro.workloads.seeding import derive_seed, seed_override
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 #: Optional suite-wide reseed; empty (default) keeps each site's stable
 #: default seed so default runs reproduce checked-in numbers exactly.
-BENCH_SEED = os.environ.get("REPRO_BENCH_SEED", "")
+#: (Kept for back-compat; the derivation itself lives in
+#: ``repro.workloads.seeding`` so generator families share it.)
+BENCH_SEED = seed_override()
 
 #: One registry for the whole bench session: the cached merge and STA
 #: runs below record their pipeline metrics here, and
@@ -58,12 +60,12 @@ def bench_seed(site: str, default: int) -> int:
     run-to-run: with ``REPRO_BENCH_SEED`` unset the site's stable
     ``default`` is used (bit-for-bit the historical workloads); setting
     it derives a distinct deterministic seed per site from the one
-    environment value, reseeding the whole suite coherently.
+    environment value, reseeding the whole suite coherently.  Delegates
+    to :func:`repro.workloads.seeding.derive_seed` (bit-compatible with
+    the historical derivation) so workload generator families and the
+    bench suite reseed from the same source.
     """
-    if not BENCH_SEED:
-        return default
-    digest = hashlib.sha256(f"{BENCH_SEED}:{site}".encode()).digest()
-    return int.from_bytes(digest[:4], "big")
+    return derive_seed(site, default)
 
 
 def bench_rng(site: str, default: int) -> random.Random:

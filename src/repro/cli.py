@@ -92,6 +92,18 @@ artifact::
 
     repro-merge doctor blackbox.json [--json]
 
+``fuzz`` runs the property-based differential fuzzing harness
+(``repro.fuzz``): deterministic adversarial workloads from ``--seed``,
+five metamorphic invariant oracles (Section 2 equivalence under the
+sign-off guard, mode-permutation invariance, ``--jobs`` byte-identity,
+cache byte-identity, checkpoint kill/resume identity), automatic
+delta-debug minimization and a signature-deduped failure corpus of
+self-contained repro bundles::
+
+    repro-merge fuzz --seed 7 --budget-seconds 60 --corpus fuzz-corpus
+    repro-merge fuzz --replay fuzz-corpus/<signature>   # exit 1 = repro
+    repro-merge doctor fuzz-corpus/<signature>/blackbox.json
+
 ``--version`` prints the package version plus the schema version of
 every artifact kind the build emits, so bug reports pin the full
 format surface.
@@ -121,7 +133,7 @@ from repro.diagnostics import (
     DiagnosticCollector,
     Severity,
 )
-from repro.errors import BudgetExceededError, ReproError
+from repro.errors import BudgetExceededError, ChaosSpecError, ReproError
 from repro.netlist import read_verilog
 from repro.obs.blackbox import (
     BlackboxRecorder,
@@ -524,6 +536,78 @@ def cmd_doctor(args: argparse.Namespace, policy: DegradationPolicy,
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace, policy: DegradationPolicy,
+             collector: DiagnosticCollector) -> int:
+    """Run the differential fuzzing harness (see ``repro.fuzz``).
+
+    Exit-code contract: 0 — every generated case passed all oracles;
+    1 — at least one invariant violation was found (repro bundles are
+    in the corpus); 2 — unusable arguments or an unreadable ``--replay``
+    bundle.  ``--replay BUNDLE`` instead re-runs one recorded failure:
+    exit 1 when it still reproduces, 0 when this build is clean.
+    """
+    import json as json_mod
+
+    from repro.fuzz.corpus import replay_bundle
+    from repro.fuzz.runner import FuzzConfig, FuzzRunner
+
+    if args.replay:
+        fuzz_jobs = args.jobs if args.jobs > 1 else 2
+        try:
+            reproduced, detail = replay_bundle(args.replay,
+                                               jobs=fuzz_jobs)
+        except ValueError as exc:
+            collector.report("FZZ001", str(exc), severity=Severity.ERROR,
+                             source=str(args.replay))
+            raise _HardFailure() from exc
+        print(f"replay {args.replay}: "
+              f"{'REPRODUCED' if reproduced else 'clean'} — {detail}")
+        return 1 if reproduced else 0
+
+    config = FuzzConfig(
+        seed=args.seed,
+        budget_seconds=args.budget_seconds,
+        families=tuple(args.families or ()),
+        corpus_dir=args.corpus,
+        max_cases=args.max_cases,
+        jobs=args.jobs if args.jobs > 1 else 2,
+        shrink=not args.no_shrink,
+    )
+    try:
+        runner = FuzzRunner(config, log=print)
+    except ValueError as exc:  # unknown family name
+        collector.report("FZZ001", str(exc), severity=Severity.ERROR,
+                         source="--families")
+        raise _HardFailure() from exc
+    outcome = runner.run()
+    summary = outcome.payload["summary"]
+    try:
+        Path(args.fuzz_output).write_text(
+            json_mod.dumps(outcome.payload, indent=2, sort_keys=True)
+            + "\n")
+        print(f"wrote {args.fuzz_output}")
+    except OSError as exc:
+        collector.capture(exc, source=args.fuzz_output)
+        raise _HardFailure() from exc
+    print(f"fuzz: {summary['cases']} case(s) over "
+          f"{len(runner.families)} famil(ies), seed {config.seed}: "
+          f"{summary['violations']} violation(s), "
+          f"{summary['new_bundles']} new bundle(s), "
+          f"{summary['duplicates']} duplicate(s), "
+          f"{summary['rejected']} rejected input(s) "
+          f"in {summary['elapsed_seconds']:g}s")
+    for bundle in outcome.new_bundles:
+        print(f"repro bundle: {bundle} "
+              f"(triage: repro-merge doctor {bundle}/blackbox.json)")
+    if summary["violations"]:
+        args._blackbox_reason = {
+            "kind": "fuzz-violation",
+            "detail": f"{summary['violations']} invariant violation(s); "
+                      f"corpus {config.corpus_dir}"[:240]}
+        return 1
+    return 0
+
+
 def _artifact_schema_versions() -> dict:
     """Every artifact kind's schema version, for ``--version`` output.
 
@@ -542,11 +626,13 @@ def _artifact_schema_versions() -> dict:
     from repro.diagnostics import DIAGNOSTICS_SCHEMA_VERSION
     from repro.obs.trace import TRACE_SCHEMA_VERSION
     from repro.obs.trends import TRENDS_SCHEMA_VERSION
+    from repro.fuzz import FUZZ_SCHEMA_VERSION
     from repro.serve.journal import JOURNAL_SCHEMA_VERSION
     from repro.serve.slo import SLO_SCHEMA_VERSION
 
     return {
         "blackbox": BLACKBOX_SCHEMA_VERSION,
+        "fuzz": FUZZ_SCHEMA_VERSION,
         "cache": CACHE_SCHEMA_VERSION,
         "checkpoint": CHECKPOINT_SCHEMA_VERSION,
         "decisions": DECISIONS_SCHEMA_VERSION,
@@ -789,6 +875,43 @@ def build_parser() -> argparse.ArgumentParser:
                               "per space")
     p_cache.set_defaults(func=cmd_cache)
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="run the differential fuzzing harness (adversarial "
+             "workloads x five metamorphic invariants)")
+    p_fuzz.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="root seed; the same seed generates the "
+                             "same workloads and verdicts (default 0)")
+    p_fuzz.add_argument("--budget-seconds", type=float, default=60.0,
+                        metavar="B",
+                        help="stop drawing new cases after B seconds "
+                             "(default 60; ignored when --max-cases "
+                             "is given)")
+    p_fuzz.add_argument("--max-cases", type=int, default=None,
+                        metavar="N",
+                        help="run exactly N cases instead of a time "
+                             "budget (deterministic case count)")
+    p_fuzz.add_argument("--families", nargs="*", metavar="FAMILY",
+                        help="restrict to these workload families "
+                             "(default: all; see docs/ROBUSTNESS.md)")
+    p_fuzz.add_argument("--corpus", default="fuzz-corpus",
+                        metavar="DIR",
+                        help="failure corpus directory: repro bundles "
+                             "land here, deduped by failure signature "
+                             "(default ./fuzz-corpus)")
+    p_fuzz.add_argument("-o", "--fuzz-output", default="fuzz.json",
+                        metavar="OUT.JSON",
+                        help="schema-versioned run summary "
+                             "(default fuzz.json)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debug minimization of failing "
+                             "cases (bundles keep the full workload)")
+    p_fuzz.add_argument("--replay", default="", metavar="BUNDLE",
+                        help="re-run one repro bundle's recorded "
+                             "oracle instead of fuzzing (exit 1 if it "
+                             "still reproduces)")
+    p_fuzz.set_defaults(func=cmd_fuzz)
+
     p_doctor = sub.add_parser(
         "doctor",
         help="render the forensic report of a crashed run's "
@@ -917,6 +1040,20 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     policy = DegradationPolicy.coerce(args.policy)
     collector = DiagnosticCollector(policy)
+    # Validate the ambient chaos spec up front: a typo'd REPRO_CHAOS is
+    # an input error (EXE009, exit 2, one line) — not a traceback from
+    # whichever engine happens to read the environment first, and never
+    # a silent no-op.
+    try:
+        from repro.exec.chaos import ChaosPlan
+
+        ChaosPlan.from_env()
+    except ChaosSpecError as exc:
+        collector.capture(exc, source="REPRO_CHAOS")
+        for diagnostic in collector:
+            print(diagnostic.format(), file=sys.stderr)
+        _write_diagnostics(args.diagnostics, collector)
+        return 2
     # The HTML report stitches every layer, so requesting it (like the
     # explain verb) force-enables the whole stack for the run.  The
     # profiler needs spans (phase attribution) and the metrics registry

@@ -60,6 +60,7 @@ break across releases:
 ``EXE006``   a supervised task failed after all retry attempts (demoted)
 ``EXE007``   deterministic chaos injection is active for this run
 ``EXE008``   a supervised batch was interrupted by a stop/drain request
+``EXE009``   the REPRO_CHAOS spec is malformed (unknown kind / bad clause)
 ``SRV001``   submission rejected: job queue is full (HTTP 429)
 ``SRV002``   submission rejected: payload exceeds the size cap (HTTP 413)
 ``SRV003``   job journal write failed (submission not acknowledged)
@@ -225,6 +226,7 @@ _ERROR_CODES = [
     (errors.EquivalenceError, "MRG004"),
     (errors.TaskFailedError, "EXE006"),
     (errors.ExecInterrupted, "EXE008"),
+    (errors.ChaosSpecError, "EXE009"),
     (errors.AdmissionError, "SRV009"),
     (errors.ExecError, "EXE006"),
     (errors.MergeError, "MRG001"),
@@ -255,6 +257,8 @@ _CODE_HINTS = {
     "EXE007": "unset REPRO_CHAOS to disable fault injection",
     "EXE008": "the batch stopped cleanly; resume replays from the "
               "checkpoint with byte-identical results",
+    "EXE009": "fix the REPRO_CHAOS spec: kind@key-glob@attempt[@seconds] "
+              "or seed:<int>[:<rate>], ';'-separated",
     "SGN009": "no action needed; the torn groups recompute on this run",
     "SRV001": "retry after a running job finishes, or raise --max-queue",
     "SRV002": "split the workload or raise --max-payload-bytes",

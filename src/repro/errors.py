@@ -167,6 +167,21 @@ class ExecError(ReproError):
     """A fault in the supervised parallel execution engine."""
 
 
+class ChaosSpecError(ExecError, ValueError):
+    """A malformed ``REPRO_CHAOS`` chaos spec.
+
+    A typo'd chaos request must fail loudly — silently ignoring it would
+    fake test coverage — and it must fail as a *diagnosed* input error
+    (stable ``EXE`` code, exit 2), not a traceback from deep inside the
+    supervisor.  Subclasses :class:`ValueError` so callers that predate
+    the typed error keep working.
+    """
+
+    def __init__(self, message: str, spec: str = ""):
+        super().__init__(message)
+        self.spec = spec
+
+
 class TaskFailedError(ExecError):
     """A supervised task failed and ``propagate_errors`` was requested.
 

@@ -45,6 +45,8 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.errors import ChaosSpecError
+
 #: The three fault kinds the supervisor must contain.
 FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "corrupt")
 
@@ -114,10 +116,11 @@ class ChaosFault:
 
     def __post_init__(self):
         if self.kind not in ALL_FAULT_KINDS:
-            raise ValueError(f"unknown chaos fault kind {self.kind!r}; "
-                             f"expected one of {list(ALL_FAULT_KINDS)}")
+            raise ChaosSpecError(
+                f"unknown chaos fault kind {self.kind!r}; "
+                f"expected one of {list(ALL_FAULT_KINDS)}")
         if self.attempt < 1:
-            raise ValueError("chaos fault attempt must be >= 1")
+            raise ChaosSpecError("chaos fault attempt must be >= 1")
 
     def matches(self, key: str, attempt: int) -> bool:
         return attempt == self.attempt and fnmatch.fnmatchcase(
@@ -149,8 +152,10 @@ class ChaosPlan:
     def from_spec(cls, spec: Optional[str]) -> Optional["ChaosPlan"]:
         """Parse the ``REPRO_CHAOS`` grammar; None/empty -> no plan.
 
-        Raises :class:`ValueError` on a malformed spec — silently
-        ignoring a typo'd chaos request would fake test coverage.
+        Raises :class:`~repro.errors.ChaosSpecError` (a ``ValueError``
+        subclass, diagnosed as ``EXE009``) on a malformed spec —
+        silently ignoring a typo'd chaos request would fake test
+        coverage.
         """
         if not spec or not spec.strip():
             return None
@@ -163,32 +168,42 @@ class ChaosPlan:
                 continue
             if item.startswith("seed:"):
                 fields = item.split(":")
+                if len(fields) > 3:
+                    raise ChaosSpecError(
+                        f"bad chaos seed spec {item!r}; expected "
+                        f"seed:<int>[:<rate>]", spec=spec)
                 try:
                     seed = int(fields[1])
                     if len(fields) > 2:
                         rate = float(fields[2])
                 except (IndexError, ValueError):
-                    raise ValueError(
+                    raise ChaosSpecError(
                         f"bad chaos seed spec {item!r}; expected "
-                        f"seed:<int>[:<rate>]") from None
+                        f"seed:<int>[:<rate>]", spec=spec) from None
                 if not 0.0 <= rate <= 1.0:
-                    raise ValueError(
-                        f"chaos rate {rate} out of range [0, 1]")
+                    raise ChaosSpecError(
+                        f"chaos rate {rate} out of range [0, 1]",
+                        spec=spec)
                 continue
             fields = item.split("@")
             if len(fields) not in (3, 4):
-                raise ValueError(
+                raise ChaosSpecError(
                     f"bad chaos fault spec {item!r}; expected "
-                    f"kind@key-glob@attempt[@seconds]")
+                    f"kind@key-glob@attempt[@seconds]", spec=spec)
             try:
                 attempt = int(fields[2])
                 seconds = float(fields[3]) if len(fields) == 4 else 0.0
             except ValueError:
-                raise ValueError(
+                raise ChaosSpecError(
                     f"bad chaos fault spec {item!r}: attempt must be an "
-                    f"int and seconds a float") from None
-            faults.append(ChaosFault(kind=fields[0], pattern=fields[1],
-                                     attempt=attempt, seconds=seconds))
+                    f"int and seconds a float", spec=spec) from None
+            try:
+                faults.append(ChaosFault(kind=fields[0],
+                                         pattern=fields[1],
+                                         attempt=attempt,
+                                         seconds=seconds))
+            except ChaosSpecError as exc:
+                raise ChaosSpecError(str(exc), spec=spec) from None
         if not faults and seed is None:
             return None
         return cls(faults=faults, seed=seed, rate=rate)

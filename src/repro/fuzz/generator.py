@@ -1,0 +1,148 @@
+"""Deterministic fuzz-case generation.
+
+A :class:`FuzzCase` is a *textual* workload — structural Verilog plus
+one SDC text per mode — so every oracle re-parses from bytes exactly
+like the CLI would, and a case round-trips into a repro bundle without
+loss.  Cases derive from ``(root seed, family, index)`` through
+:func:`repro.workloads.seeding.stable_seed` only, so the same triple
+yields the same bytes in every process.
+
+Families are the adversarial :data:`repro.workloads.families.FAMILIES`
+plus ``sdc-mutate``: a byte/token-level mutator over a *valid* generated
+workload's SDC (duplicated and dropped lines, swapped lines, perturbed
+numeric literals, dropped/duplicated tokens, renamed clocks) — the
+classic dumb-fuzzer layer that exercises the parser's recovery paths
+and feeds slightly-wrong constraints into the merge invariants.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.netlist.verilog import write_verilog
+from repro.sdc.writer import write_mode
+from repro.workloads.families import FAMILIES, build_family
+from repro.workloads.seeding import stable_rng, stable_seed
+
+#: The mutator family on top of the structural families.
+MUTATE_FAMILY = "sdc-mutate"
+
+
+def fuzz_families() -> Tuple[str, ...]:
+    """Every family the fuzzer can draw cases from."""
+    return tuple(sorted(FAMILIES)) + (MUTATE_FAMILY,)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated workload, as the bytes the pipeline would read."""
+
+    case_id: str
+    family: str
+    root_seed: int
+    case_seed: int
+    netlist_text: str
+    #: ``(mode name, SDC text)`` in generation order.
+    mode_texts: Tuple[Tuple[str, str], ...]
+
+    @property
+    def mode_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.mode_texts)
+
+    def modes_dict(self) -> Dict[str, str]:
+        return dict(self.mode_texts)
+
+    def with_modes(self, mode_texts) -> "FuzzCase":
+        """A shrunk variant of this case (same identity fields)."""
+        return replace(self, mode_texts=tuple(mode_texts))
+
+
+def generate_case(root_seed: int, index: int, family: str) -> FuzzCase:
+    """Build the ``index``-th case of ``family`` for ``root_seed``."""
+    if family != MUTATE_FAMILY and family not in FAMILIES:
+        raise KeyError(f"unknown fuzz family {family!r}; "
+                       f"known: {', '.join(fuzz_families())}")
+    case_seed = stable_seed("fuzz-case", root_seed, family, index) \
+        & 0xFFFFFFFF
+    if family == MUTATE_FAMILY:
+        rng = stable_rng("fuzz-mutate", root_seed, index)
+        base_family = rng.choice(sorted(FAMILIES))
+        workload = build_family(base_family, case_seed)
+        mode_texts = tuple(
+            (mode.name, _mutate_sdc(write_mode(mode), rng))
+            for mode in workload.modes)
+    else:
+        workload = build_family(family, case_seed)
+        mode_texts = tuple((mode.name, write_mode(mode))
+                           for mode in workload.modes)
+    return FuzzCase(
+        case_id=f"{family}-{index:04d}",
+        family=family,
+        root_seed=root_seed,
+        case_seed=case_seed,
+        netlist_text=write_verilog(workload.netlist),
+        mode_texts=mode_texts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SDC token mutator
+# ---------------------------------------------------------------------------
+_NUMBER = re.compile(r"^\d+(\.\d+)?$")
+
+
+def _mutate_sdc(text: str, rng: random.Random) -> str:
+    """Apply 1-3 token/line-level mutations to one SDC text."""
+    lines = text.splitlines()
+    for _ in range(rng.randint(1, 3)):
+        op = rng.randrange(7)
+        if not lines:
+            break
+        index = rng.randrange(len(lines))
+        if op == 0:                       # duplicate a line
+            lines.insert(index, lines[index])
+        elif op == 1 and len(lines) > 1:  # drop a line
+            del lines[index]
+        elif op == 2 and len(lines) > 1:  # swap two lines
+            other = rng.randrange(len(lines))
+            lines[index], lines[other] = lines[other], lines[index]
+        elif op == 3:                     # perturb a numeric literal
+            lines[index] = _mutate_token(
+                lines[index], rng,
+                lambda tok, r: f"{float(tok) * r.choice([0.5, 2, 10]):g}",
+                lambda tok: bool(_NUMBER.match(tok)))
+        elif op == 4:                     # drop a token
+            tokens = lines[index].split()
+            if len(tokens) > 2:
+                del tokens[rng.randrange(len(tokens))]
+                lines[index] = " ".join(tokens)
+        elif op == 5:                     # duplicate a token
+            tokens = lines[index].split()
+            if tokens:
+                pos = rng.randrange(len(tokens))
+                tokens.insert(pos, tokens[pos])
+                lines[index] = " ".join(tokens)
+        else:                             # rename a clock reference
+            lines[index] = _mutate_token(
+                lines[index], rng,
+                lambda tok, r: tok + "X",
+                lambda tok: tok.startswith(("CLK", "SCAN", "GDIV")))
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def _mutate_token(line: str, rng: random.Random, transform,
+                  eligible) -> str:
+    tokens = line.split()
+    candidates = [i for i, tok in enumerate(tokens)
+                  if eligible(tok.strip("[]"))]
+    if not candidates:
+        return line
+    pos = rng.choice(candidates)
+    token = tokens[pos]
+    prefix = "[" if token.startswith("[") else ""
+    suffix = "]" if token.endswith("]") else ""
+    tokens[pos] = prefix + transform(token.strip("[]"), rng) + suffix
+    return " ".join(tokens)

@@ -1,0 +1,132 @@
+"""Automatic failure minimization (delta debugging).
+
+Given a case that violates one oracle, :func:`shrink_case` reduces it
+to a locally-minimal reproduction in two passes:
+
+1. **mode ddmin** — find a minimal subset of modes that still violates
+   the oracle (classic ddmin over the mode list);
+2. **constraint ddmin** — for each surviving mode, ddmin over its SDC
+   lines, keeping only the lines required for the violation.
+
+The predicate re-runs *only* the failing oracle, and every step is a
+pure function of the candidate case bytes, so the same failing case
+always shrinks to the same minimized bytes (pinned by the determinism
+tests).  A bounded predicate-evaluation budget keeps pathological
+cases from stalling a fuzz run; on exhaustion the best reduction so
+far is returned — still a valid reproduction, just not minimal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.fuzz.generator import FuzzCase
+from repro.fuzz.oracles import OracleBattery
+
+#: Default cap on predicate evaluations per shrink.
+DEFAULT_BUDGET = 80
+
+
+def shrink_case(case: FuzzCase, oracle: str,
+                battery: OracleBattery = None,
+                budget: int = DEFAULT_BUDGET) -> FuzzCase:
+    """Minimize ``case`` while it still violates ``oracle``."""
+    battery = battery or OracleBattery()
+    evals = [1]  # the reproduction check below draws from the budget
+
+    def fails(candidate: FuzzCase) -> bool:
+        verdict = battery.run(candidate, oracles=(oracle,))
+        return any(v.oracle == oracle for v in verdict.violations)
+
+    if not fails(case):
+        # Not reproducible in isolation (flaky or environment-driven);
+        # nothing safe to shrink.
+        return case
+
+    # Pass 1: minimal mode subset.
+    modes = _ddmin(
+        list(case.mode_texts),
+        lambda subset: len(subset) >= 1
+        and fails(case.with_modes(subset)),
+        evals, budget)
+    current = case.with_modes(modes)
+
+    # Pass 2: minimal constraint lines per mode.
+    for index, (name, text) in enumerate(current.mode_texts):
+        lines = text.splitlines()
+        if len(lines) <= 1:
+            continue
+
+        def with_lines(subset: Sequence[str]) -> FuzzCase:
+            rebuilt = list(current.mode_texts)
+            rebuilt[index] = (name, "\n".join(subset) + "\n")
+            return current.with_modes(rebuilt)
+
+        kept = _ddmin(lines,
+                      lambda subset: fails(with_lines(subset)),
+                      evals, budget)
+        current = with_lines(kept)
+    return current
+
+
+def _ddmin(items: List, fails: Callable[[Sequence], bool],
+           evals: List[int] = None,
+           budget: int = DEFAULT_BUDGET) -> List:
+    """Zeller's ddmin: a minimal sublist for which ``fails`` holds.
+
+    ``fails`` must hold for the full list on entry (when it does not,
+    the input comes back unchanged).  Deterministic: subsets are tried
+    in a fixed order.  ``evals`` is a shared one-element evaluation
+    counter so the two shrink passes draw from one budget.
+    """
+    evals = evals if evals is not None else [0]
+
+    def check(subset: Sequence) -> bool:
+        if evals[0] >= budget:
+            return False
+        evals[0] += 1
+        return fails(subset)
+
+    if not check(items):
+        return items
+    granularity = 2
+    while len(items) >= 2 and evals[0] < budget:
+        chunks = _chunk(items, granularity)
+        reduced = False
+        # Try each chunk alone.
+        for chunk in chunks:
+            if check(chunk):
+                items = chunk
+                granularity = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # Try each complement.
+        if granularity > 2:
+            for index in range(len(chunks)):
+                complement = [item for j, chunk in enumerate(chunks)
+                              if j != index for item in chunk]
+                if check(complement):
+                    items = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if granularity >= len(items):
+            break
+        granularity = min(len(items), granularity * 2)
+    return items
+
+
+def _chunk(items: List, granularity: int) -> List[List]:
+    size, remainder = divmod(len(items), granularity)
+    chunks: List[List] = []
+    start = 0
+    for index in range(granularity):
+        end = start + size + (1 if index < remainder else 0)
+        if end > start:
+            chunks.append(items[start:end])
+        start = end
+    return chunks

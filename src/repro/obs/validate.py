@@ -32,6 +32,10 @@ from repro.obs.report_html import (
 from repro.obs.trace import TRACE_SCHEMA_VERSION
 from repro.obs.trends import TRENDS_HTML_MARKER, TRENDS_SCHEMA_VERSION
 
+# ``repro.fuzz``'s package init is dependency-light by design, so this
+# import cannot cycle back into ``repro.obs``.
+from repro.fuzz import FUZZ_SCHEMA_VERSION as _FUZZ_SCHEMA_VERSION
+
 
 def validate_trace_jsonl(text: str) -> List[str]:
     """Problems with a JSONL trace artifact (empty list = valid)."""
@@ -424,6 +428,63 @@ def validate_blackbox(text: str) -> List[str]:
     return problems
 
 
+def validate_fuzz(text: str) -> List[str]:
+    """Problems with a ``fuzz.json`` run summary artifact."""
+    from repro.fuzz import FUZZ_KIND, FUZZ_SCHEMA_VERSION, ORACLE_NAMES
+
+    try:
+        record = json.loads(text)
+    except ValueError as exc:
+        return [f"not JSON: {exc}"]
+    problems: List[str] = []
+    if record.get("kind") != FUZZ_KIND:
+        problems.append(f"kind is {record.get('kind')!r}, "
+                        f"expected {FUZZ_KIND!r}")
+    if record.get("schema_version") != FUZZ_SCHEMA_VERSION:
+        problems.append(f"schema_version is "
+                        f"{record.get('schema_version')!r}, expected "
+                        f"{FUZZ_SCHEMA_VERSION}")
+    if not isinstance(record.get("seed"), int):
+        problems.append("seed is missing or not an int")
+    families = record.get("families")
+    if not isinstance(families, list) or not families:
+        problems.append("families is missing or empty")
+    oracles = record.get("oracles")
+    if not isinstance(oracles, list) or not oracles:
+        problems.append("oracles is missing or empty")
+    else:
+        for oracle in oracles:
+            if oracle not in ORACLE_NAMES:
+                problems.append(f"unknown oracle {oracle!r}")
+    cases = record.get("cases")
+    if not isinstance(cases, list):
+        return problems + ["cases is missing or not a list"]
+    for i, case in enumerate(cases):
+        if not isinstance(case, dict):
+            problems.append(f"case {i} is not an object")
+            continue
+        for key in ("case_id", "family", "case_seed", "ok",
+                    "oracles", "violations"):
+            if key not in case:
+                problems.append(f"case {i} missing {key!r}")
+        for j, violation in enumerate(case.get("violations", ())):
+            if not isinstance(violation, dict) \
+                    or not violation.get("oracle") \
+                    or "detail" not in violation:
+                problems.append(
+                    f"case {i} violation {j} missing oracle/detail")
+    summary = record.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("summary is missing or not an object")
+    else:
+        for key in ("cases", "violations", "new_bundles", "duplicates",
+                    "rejected"):
+            value = summary.get(key)
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"summary {key} is missing or negative")
+    return problems
+
+
 #: Every observability artifact kind: (kind, schema version, producing
 #: flag/verb, validator switch).  docs/OBSERVABILITY.md renders this as
 #: the "artifact zoo" table and a contract test keeps the two in sync —
@@ -444,6 +505,8 @@ ARTIFACT_ZOO = (
      "--blackbox"),
     ("report.html", REPORT_HTML_SCHEMA_VERSION, "--report-html OUT.html",
      "--html"),
+    ("fuzz", _FUZZ_SCHEMA_VERSION, "fuzz verb (fuzz.json run summary)",
+     "--fuzz"),
 )
 
 
@@ -463,13 +526,14 @@ def main(argv=None) -> int:
                         help="self-contained HTML trend report")
     parser.add_argument("--blackbox",
                         help="flight-recorder blackbox JSON file")
+    parser.add_argument("--fuzz", help="fuzz run summary JSON file")
     args = parser.parse_args(argv)
     if not any((args.trace, args.metrics, args.explain, args.html,
                 args.profile, args.trends, args.trends_html,
-                args.blackbox)):
+                args.blackbox, args.fuzz)):
         parser.error("nothing to validate: pass --trace, --metrics, "
                      "--explain, --html, --profile, --trends, "
-                     "--trends-html and/or --blackbox")
+                     "--trends-html, --blackbox and/or --fuzz")
 
     failed = False
     for label, path, check in (("trace", args.trace, validate_trace),
@@ -481,7 +545,8 @@ def main(argv=None) -> int:
                                ("trends-html", args.trends_html,
                                 validate_trends_html),
                                ("blackbox", args.blackbox,
-                                validate_blackbox)):
+                                validate_blackbox),
+                               ("fuzz", args.fuzz, validate_fuzz)):
         if not path:
             continue
         with open(path) as handle:

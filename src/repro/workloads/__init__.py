@@ -7,21 +7,37 @@ from repro.workloads.designs import (
     load_design,
     paper_suite,
 )
+from repro.workloads.families import FAMILIES, build_family, family_names
 from repro.workloads.generator import (
     ModeGroupSpec,
     Workload,
     WorkloadSpec,
     generate,
 )
+from repro.workloads.seeding import (
+    SEED_ENV,
+    derive_rng,
+    derive_seed,
+    stable_rng,
+    stable_seed,
+)
 
 __all__ = [
+    "FAMILIES",
     "ModeGroupSpec",
     "PaperDesign",
+    "SEED_ENV",
     "Workload",
     "WorkloadSpec",
+    "build_family",
+    "derive_rng",
+    "derive_seed",
     "export_workload",
+    "family_names",
     "figure2_modes",
     "generate",
     "load_design",
     "paper_suite",
+    "stable_rng",
+    "stable_seed",
 ]

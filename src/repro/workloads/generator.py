@@ -18,8 +18,10 @@ depends on:
   difference), so the mergeability analysis discovers exactly the intended
   cliques.
 
-Determinism: everything derives from ``spec.seed`` via ``random.Random``;
-the same spec always yields the same design and modes.
+Determinism: everything derives from ``spec.seed`` via ``random.Random``
+and :func:`repro.workloads.seeding.stable_seed` — the same spec yields
+the same design and modes in every process (no ``hash()``-derived
+seeds, which ``PYTHONHASHSEED`` would salt differently per process).
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ from repro.netlist.builder import GateRef, NetlistBuilder
 from repro.netlist.netlist import Netlist
 from repro.sdc.mode import Mode, ModeSet
 from repro.sdc.parser import parse_mode
+from repro.workloads.seeding import stable_rng
 
 _GATES = ("AND2", "OR2", "NAND2", "NOR2", "XOR2", "INV", "BUF")
 
@@ -42,7 +45,7 @@ class ModeGroupSpec:
 
     name: str
     count: int
-    kind: str = "func"            # "func" | "scan" | "test"
+    kind: str = "func"            # "func" | "scan" | "capture" | "test"
     #: group-unique drive value; >10% apart across groups => non-mergeable
     input_transition: float = 0.1
     #: base clock period scale of this group's functional clocks
@@ -106,8 +109,7 @@ def generate(spec: WorkloadSpec) -> Workload:
     for group in spec.groups:
         for index in range(group.count):
             mode = _build_mode(spec, group, index, info,
-                               random.Random((spec.seed, group.name, index)
-                                             .__hash__() & 0xFFFFFFFF))
+                               stable_rng(spec.seed, group.name, index))
             modes.append(mode)
             group_of[mode.name] = group.name
     return Workload(spec=spec, netlist=netlist, modes=modes,
@@ -273,6 +275,26 @@ def _build_mode(spec: WorkloadSpec, group: ModeGroupSpec, index: int,
         lines.append(f"set_case_analysis 1 [get_ports {info.scan_mode_port}]")
         launch_clock = "SCAN"
         capture_clock = "SCAN"
+    elif group.kind == "capture":
+        # Scan capture: the scan clock AND the functional clocks are all
+        # defined, and no case analysis pins the clock mux select — both
+        # trees propagate through the muxes and only explicit false paths
+        # keep the domains apart.  This is the classic at-speed capture
+        # setup that stresses clock refinement during merging.
+        period = 40.0 * group.period_scale
+        lines.append(f"create_clock -name SCAN -period {period:g} "
+                     f"[get_ports {info.scan_clock_port}]")
+        for d, port in enumerate(info.clock_ports):
+            fperiod = (8.0 + 2.0 * d) * group.period_scale
+            lines.append(f"create_clock -name CLK{d} -period {fperiod:g} "
+                         f"[get_ports {port}]")
+        for d in range(spec.n_domains):
+            lines.append(f"set_false_path -from [get_clocks SCAN] "
+                         f"-to [get_clocks CLK{d}]")
+            lines.append(f"set_false_path -from [get_clocks CLK{d}] "
+                         f"-to [get_clocks SCAN]")
+        launch_clock = "SCAN"
+        capture_clock = "CLK0"
     else:
         for d, port in enumerate(info.clock_ports):
             period = (8.0 + 2.0 * d) * group.period_scale
@@ -308,7 +330,8 @@ def _build_mode(spec: WorkloadSpec, group: ModeGroupSpec, index: int,
     # Mode-specific case analysis on config bits (the merge must drop the
     # conflicting ones and re-derive precision via refinement).
     for j, port in enumerate(info.config_ports):
-        if port == info.gating_enable_port and group.kind != "scan":
+        if port == info.gating_enable_port and \
+                group.kind not in ("scan", "capture"):
             continue  # assigned explicitly above
         value = (index >> (j % 4)) & 1
         if rng.random() < 0.7:
@@ -337,7 +360,7 @@ def _build_mode(spec: WorkloadSpec, group: ModeGroupSpec, index: int,
     # Common clock quality constraints (small intra-group jitter within the
     # merge tolerance window exercises the min/max value merging).
     uncertainty = 0.10 + 0.005 * (index % 3)
-    clock_names = "SCAN" if group.kind == "scan" else "CLK*"
+    clock_names = {"scan": "SCAN", "capture": "*"}.get(group.kind, "CLK*")
     lines.append(f"set_clock_uncertainty {uncertainty:g} "
                  f"[get_clocks {clock_names}]")
 

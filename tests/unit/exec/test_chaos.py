@@ -153,3 +153,58 @@ class TestCorruptPayload:
     def test_inequality(self):
         assert CorruptPayload("a", 1) != CorruptPayload("a", 2)
         assert CorruptPayload("a", 1) != "a"
+
+
+class TestMalformedSpecRejection:
+    """Pinned contract: a typo'd ``REPRO_CHAOS`` is an input error —
+    :class:`ChaosSpecError` (an ``EXE009`` :class:`ValueError`), never a
+    silent no-op and never a bare traceback."""
+
+    def test_chaos_spec_error_types(self):
+        from repro.errors import ChaosSpecError, ExecError
+
+        assert issubclass(ChaosSpecError, ExecError)
+        assert issubclass(ChaosSpecError, ValueError)
+
+    @pytest.mark.parametrize("spec", [
+        "bogus@*@1",                 # unknown fault kind
+        "crash@",                    # missing glob / attempt
+        "crash@key@1@2@3@4",         # too many clause fields
+        "crash@key@zero",            # non-integer attempt
+        "hang@key@1@fast",           # non-numeric seconds
+        "seed:abc",                  # non-integer seed
+        "seed:1:2.0",                # rate out of [0, 1]
+        "seed:1:0.5:x",              # too many seed fields
+    ])
+    def test_malformed_specs_raise_chaos_spec_error(self, spec):
+        from repro.errors import ChaosSpecError
+
+        with pytest.raises(ChaosSpecError) as excinfo:
+            ChaosPlan.from_spec(spec)
+        assert excinfo.value.spec == spec
+
+    def test_maps_to_exe009_with_hint(self):
+        from repro.diagnostics import DegradationPolicy, \
+            DiagnosticCollector
+        from repro.errors import ChaosSpecError
+
+        collector = DiagnosticCollector(DegradationPolicy.STRICT)
+        try:
+            ChaosPlan.from_spec("bogus@*@1")
+        except ChaosSpecError as exc:
+            diagnostic = collector.capture(exc, source=CHAOS_ENV)
+        assert diagnostic.code == "EXE009"
+        assert "REPRO_CHAOS" in diagnostic.hint
+
+    def test_from_env_validates(self, monkeypatch):
+        from repro.errors import ChaosSpecError
+
+        monkeypatch.setenv(CHAOS_ENV, "notakind@x@1")
+        with pytest.raises(ChaosSpecError):
+            ChaosPlan.from_env()
+
+    def test_well_formed_specs_still_parse(self):
+        plan = ChaosPlan.from_spec(
+            "cache-corrupt@results:*@1;seed:3:0.5")
+        assert plan.faults[0].kind == "cache-corrupt"
+        assert plan.seed == 3

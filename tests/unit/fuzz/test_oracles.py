@@ -1,0 +1,86 @@
+"""Unit tests for the differential oracle battery."""
+
+import pytest
+
+from repro.fuzz import BREAK_ENV, ORACLE_NAMES
+from repro.fuzz.generator import FuzzCase, generate_case
+from repro.fuzz.oracles import OracleBattery, Violation
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_break(monkeypatch):
+    monkeypatch.delenv(BREAK_ENV, raising=False)
+    monkeypatch.delenv("REPRO_BENCH_SEED", raising=False)
+
+
+@pytest.fixture(scope="module")
+def battery():
+    return OracleBattery(jobs=2)
+
+
+class TestCleanPipeline:
+    def test_clean_case_passes_every_oracle(self, battery):
+        verdict = battery.run(generate_case(3, 0, "scan-pairs"))
+        assert verdict.ok
+        assert not verdict.rejected
+        assert verdict.oracles_run == ORACLE_NAMES
+        assert verdict.violations == []
+
+    def test_oracle_subset_runs_only_that_subset(self, battery):
+        verdict = battery.run(generate_case(3, 0, "genclock-deep"),
+                              oracles=("permutation",))
+        assert verdict.oracles_run == ("permutation",)
+        assert verdict.ok
+
+    def test_verdict_to_dict_shape(self, battery):
+        record = battery.run(generate_case(3, 1, "exception-stack"),
+                             oracles=("jobs",)).to_dict()
+        assert record["case_id"] == "exception-stack-0001"
+        assert record["ok"] is True
+        assert record["rejected"] is False
+        assert record["oracles"] == ["jobs"]
+        assert record["violations"] == []
+
+
+class TestRejection:
+    def test_unparseable_netlist_is_rejected_not_a_finding(
+            self, battery):
+        case = FuzzCase(case_id="bad-0000", family="sdc-mutate",
+                        root_seed=0, case_seed=0,
+                        netlist_text="this is not verilog at all (",
+                        mode_texts=(("m0", "create_clock -name X"),))
+        verdict = battery.run(case)
+        assert verdict.rejected
+        assert not verdict.violations
+        assert verdict.reject_reason
+
+
+class TestInjectedBreakage:
+    """``REPRO_FUZZ_BREAK=<oracle>`` must make exactly that oracle
+    fire — the end-to-end drill the CI smoke test relies on."""
+
+    @pytest.mark.parametrize("oracle", ORACLE_NAMES)
+    def test_break_hook_trips_its_oracle(self, oracle, monkeypatch,
+                                         battery):
+        monkeypatch.setenv(BREAK_ENV, oracle)
+        verdict = battery.run(generate_case(3, 0, "scan-pairs"),
+                              oracles=(oracle,))
+        assert not verdict.ok
+        assert [v.oracle for v in verdict.violations] == [oracle]
+        assert verdict.violations[0].detail
+
+    def test_break_hook_leaves_other_oracles_alone(self, monkeypatch,
+                                                   battery):
+        monkeypatch.setenv(BREAK_ENV, "jobs")
+        verdict = battery.run(generate_case(3, 0, "scan-pairs"),
+                              oracles=("permutation", "cache"))
+        assert verdict.ok
+
+
+class TestViolation:
+    def test_to_dict(self):
+        violation = Violation(oracle="jobs", detail="mismatch",
+                              mode_names=("a", "b"))
+        assert violation.to_dict() == {
+            "oracle": "jobs", "detail": "mismatch",
+            "mode_names": ["a", "b"]}
